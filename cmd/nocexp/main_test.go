@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFigure8WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(8, false, false, false, dir, 1000); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figure8.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "switch_count,") {
+		t.Errorf("figure8.csv header wrong: %q", string(data[:40]))
+	}
+	if lines := strings.Count(string(data), "\n"); lines < 5 {
+		t.Errorf("figure8.csv has only %d lines", lines)
+	}
+}
+
+func TestRunFigure10WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(10, false, false, false, dir, 1000); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figure10.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "D26_media") {
+		t.Error("figure10.csv missing benchmark rows")
+	}
+}
+
+func TestRunSummaryOnly(t *testing.T) {
+	if err := run(0, true, false, false, "", 1000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDemoOnlyShortHorizon(t *testing.T) {
+	if err := run(0, false, true, false, "", 2000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExtOnly(t *testing.T) {
+	if err := run(0, false, false, true, "", 3000); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+// Customjson shows the file-based workflow for user-provided designs:
+// it writes a topology and traffic description as JSON (as a user's own
+// toolchain would), loads them back, computes routes, removes deadlocks,
+// and exports the repaired design plus Graphviz renderings — the same
+// pipeline the nocdr CLI drives.
+//
+// Run with: go run ./examples/customjson
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	nocdr "github.com/nocdr/nocdr"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "nocdr-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// A user-authored design: two clusters joined by a bidirectional
+	// bridge plus a one-way express ring across four switches.
+	top := nocdr.NewTopology("custom")
+	for i := 0; i < 4; i++ {
+		sw := top.AddSwitch(fmt.Sprintf("SW%d", i+1))
+		top.AttachCore(i*2, sw)
+		top.AttachCore(i*2+1, sw)
+	}
+	for i := 0; i < 4; i++ {
+		top.MustAddLink(nocdr.SwitchID(i), nocdr.SwitchID((i+1)%4)) // express ring
+	}
+	top.AddBidi(0, 1) // local bidirectional bridge between SW1 and SW2
+
+	g := nocdr.NewTraffic("custom-traffic")
+	for i := 0; i < 8; i++ {
+		g.AddCore("")
+	}
+	// Cross traffic that exercises the ring in full circles: the
+	// two-hop flows chase each other around the one-way ring.
+	g.MustAddFlow(0, 5, 200) // SW1 → SW3
+	g.MustAddFlow(2, 7, 150) // SW2 → SW4
+	g.MustAddFlow(4, 1, 150) // SW3 → SW1
+	g.MustAddFlow(6, 3, 200) // SW4 → SW2
+	g.MustAddFlow(3, 0, 80)  // SW2 → SW1 over the bridge
+	g.MustAddFlow(7, 0, 50)  // SW4 → SW1
+
+	topoPath := filepath.Join(dir, "topology.json")
+	trafficPath := filepath.Join(dir, "traffic.json")
+	if err := nocdr.SaveJSON(topoPath, top); err != nil {
+		log.Fatal(err)
+	}
+	if err := nocdr.SaveJSON(trafficPath, g); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", topoPath)
+	fmt.Println("wrote", trafficPath)
+
+	// Load back (the files are the interface) and route.
+	top2, err := nocdr.LoadTopology(topoPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g2, err := nocdr.LoadTraffic(trafficPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	routes, err := nocdr.ComputeRoutes(top2, g2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := routes.Validate(top2, g2); err != nil {
+		log.Fatal(err)
+	}
+
+	free, err := nocdr.DeadlockFree(top2, routes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nloaded design deadlock-free:", free)
+	if !free {
+		cdgGraph, err := nocdr.BuildCDG(top2, routes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cycle := cdgGraph.SmallestCycle()
+		fmt.Print("smallest CDG cycle:")
+		for _, c := range cycle {
+			fmt.Printf(" %s", top2.ChannelName(c))
+		}
+		fmt.Println()
+	}
+
+	res, err := nocdr.RemoveDeadlocks(top2, routes, nocdr.RemovalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("removal: %d cycle(s) broken, %d VC(s) added\n", res.Iterations, res.AddedVCs)
+
+	// Export the repaired design for downstream tools.
+	fixedTopo := filepath.Join(dir, "topology-fixed.json")
+	fixedRoutes := filepath.Join(dir, "routes-fixed.json")
+	if err := nocdr.SaveJSON(fixedTopo, res.Topology); err != nil {
+		log.Fatal(err)
+	}
+	if err := nocdr.SaveJSON(fixedRoutes, res.Routes); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", fixedTopo)
+	fmt.Println("wrote", fixedRoutes)
+
+	fmt.Println("\nrepaired topology (DOT):")
+	if err := res.Topology.WriteDOT(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,136 @@
+// Quickstart walks through the paper's running example (Figures 1–4 and
+// Table 1): a four-switch ring whose four flows create a cyclic channel
+// dependency graph, the cost table the algorithm builds to pick the
+// cheapest dependency to break, and the repaired deadlock-free design.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	nocdr "github.com/nocdr/nocdr"
+)
+
+func main() {
+	// Figure 1: switches SW1..SW4 in a ring, one core each, links L1..L4.
+	top := nocdr.NewTopology("figure1")
+	for i := 0; i < 4; i++ {
+		sw := top.AddSwitch("")
+		if err := top.AttachCore(i, sw); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		top.MustAddLink(nocdr.SwitchID(i), nocdr.SwitchID((i+1)%4))
+	}
+
+	// The paper's four flows with their fixed routes:
+	// F1={L1,L2,L3}, F2={L3,L4}, F3={L4,L1}, F4={L1,L2}.
+	g := nocdr.NewTraffic("figure1-flows")
+	for i := 0; i < 4; i++ {
+		g.AddCore("")
+	}
+	g.MustAddFlow(0, 3, 100)
+	g.MustAddFlow(2, 0, 100)
+	g.MustAddFlow(3, 1, 100)
+	g.MustAddFlow(0, 2, 100)
+	routes := nocdr.NewRouteTable(4)
+	ch := func(ids ...int) []nocdr.Channel {
+		out := make([]nocdr.Channel, len(ids))
+		for i, id := range ids {
+			out[i] = nocdr.Chan(nocdr.LinkID(id), 0)
+		}
+		return out
+	}
+	routes.Set(0, ch(0, 1, 2))
+	routes.Set(1, ch(2, 3))
+	routes.Set(2, ch(3, 0))
+	routes.Set(3, ch(0, 1))
+	if err := routes.Validate(top, g); err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 2: the CDG has the cycle L1→L2→L3→L4→L1.
+	cdgGraph, err := nocdr.BuildCDG(top, routes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Figure 2: channel dependency graph ==")
+	fmt.Println(cdgGraph)
+	for _, d := range cdgGraph.Dependencies() {
+		fmt.Printf("  %s -> %s  (flows", top.ChannelName(d.From), top.ChannelName(d.To))
+		for _, f := range d.Flows {
+			fmt.Printf(" F%d", f+1)
+		}
+		fmt.Println(")")
+	}
+	cycle := cdgGraph.SmallestCycle()
+	fmt.Print("smallest cycle:")
+	for _, c := range cycle {
+		fmt.Printf(" %s", top.ChannelName(c))
+	}
+	fmt.Println()
+
+	// Table 1: the forward cost table over that cycle.
+	fmt.Println("\n== Table 1: forward cost table ==")
+	ct, err := nocdr.ForwardCostTable(cycle, routes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("     ")
+	for e := range cycle {
+		fmt.Printf("D%d  ", e+1)
+	}
+	fmt.Println()
+	for r, flowID := range ct.FlowIDs {
+		fmt.Printf("F%d   ", flowID+1)
+		for _, c := range ct.PerFlow[r] {
+			fmt.Printf("%-4d", c)
+		}
+		fmt.Println()
+	}
+	fmt.Print("MAX  ")
+	for _, m := range ct.Max {
+		fmt.Printf("%-4d", m)
+	}
+	fmt.Printf("\n=> cheapest break: edge D%d at cost %d\n", ct.BestEdge+1, ct.BestCost)
+
+	// Figures 3–4: run the removal algorithm.
+	res, err := nocdr.RemoveDeadlocks(top, routes, nocdr.RemovalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== Figures 3-4: after deadlock removal ==")
+	fmt.Printf("cycles broken: %d, VCs added: %d (|L'|-|L|)\n", res.Iterations, res.AddedVCs)
+	for _, b := range res.Breaks {
+		fmt.Printf("  broke %s at D%d (cost %d); new channels:",
+			b.Direction, b.EdgePos+1, b.Cost)
+		for _, c := range b.NewChannels {
+			fmt.Printf(" %s", res.Topology.ChannelName(c))
+		}
+		fmt.Printf("; rerouted flows:")
+		for _, f := range b.Reroutes {
+			fmt.Printf(" F%d", f+1)
+		}
+		fmt.Println()
+	}
+	fmt.Println("modified routes:")
+	for _, r := range res.Routes.Routes() {
+		fmt.Printf("  F%d: %s\n", r.FlowID+1, r.String(res.Topology))
+	}
+	free, err := nocdr.DeadlockFree(res.Topology, res.Routes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deadlock-free:", free)
+
+	// Bonus: the modified topology as Graphviz DOT on stderr-friendly
+	// output (pipe to `dot -Tpng` to render Figure 4).
+	fmt.Println("\n== Modified topology (DOT) ==")
+	if err := res.Topology.WriteDOT(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

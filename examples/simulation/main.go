@@ -1,0 +1,131 @@
+// Simulation demonstrates that the deadlocks the algorithm removes are
+// real: it saturates the paper's four-switch ring example in the
+// flit-level wormhole simulator, watches it deadlock, then repairs the
+// design with the removal algorithm and shows the same workload running
+// indefinitely and draining completely.
+//
+// Run with: go run ./examples/simulation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nocdr "github.com/nocdr/nocdr"
+)
+
+func buildRing() (*nocdr.Topology, *nocdr.TrafficGraph, *nocdr.RouteTable) {
+	top := nocdr.NewTopology("figure1")
+	for i := 0; i < 4; i++ {
+		sw := top.AddSwitch("")
+		top.AttachCore(i, sw)
+	}
+	for i := 0; i < 4; i++ {
+		top.MustAddLink(nocdr.SwitchID(i), nocdr.SwitchID((i+1)%4))
+	}
+	g := nocdr.NewTraffic("ring")
+	for i := 0; i < 4; i++ {
+		g.AddCore("")
+	}
+	g.MustAddFlow(0, 3, 100)
+	g.MustAddFlow(2, 0, 100)
+	g.MustAddFlow(3, 1, 100)
+	g.MustAddFlow(0, 2, 100)
+	routes := nocdr.NewRouteTable(4)
+	ch := func(ids ...int) []nocdr.Channel {
+		out := make([]nocdr.Channel, len(ids))
+		for i, id := range ids {
+			out[i] = nocdr.Chan(nocdr.LinkID(id), 0)
+		}
+		return out
+	}
+	routes.Set(0, ch(0, 1, 2))
+	routes.Set(1, ch(2, 3))
+	routes.Set(2, ch(3, 0))
+	routes.Set(3, ch(0, 1))
+	return top, g, routes
+}
+
+func report(title string, st *nocdr.SimStats) {
+	fmt.Printf("== %s ==\n", title)
+	fmt.Printf("  cycles: %d\n", st.Cycles)
+	fmt.Printf("  delivered: %d packets (%d flits), avg latency %.1f cycles\n",
+		st.DeliveredPackets, st.DeliveredFlits, st.AvgLatency())
+	switch {
+	case st.Deadlocked:
+		fmt.Printf("  DEADLOCK at cycle %d — packets %v locked in a cyclic wait\n",
+			st.DeadlockCycle, st.DeadlockPackets)
+	case st.Drained:
+		fmt.Println("  workload drained completely — no deadlock")
+	default:
+		fmt.Println("  ran to horizon — no deadlock")
+	}
+	fmt.Println()
+}
+
+func main() {
+	top, g, routes := buildRing()
+
+	// Phase 1: the unmodified design at saturation. Its CDG is cyclic
+	// (L1→L2→L3→L4→L1), so wormhole packets can — and quickly do — form
+	// a cyclic wait.
+	free, err := nocdr.DeadlockFree(top, routes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("original design deadlock-free per CDG analysis: %v\n\n", free)
+	st, err := nocdr.Simulate(top, g, routes, nocdr.SimConfig{
+		MaxCycles:  50000,
+		LoadFactor: 1.0,
+		Seed:       7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("original design, saturation load", st)
+
+	// Phase 2: repair with the paper's algorithm (adds L1', reroutes the
+	// flows creating the broken dependency) and rerun the same workload.
+	res, err := nocdr.RemoveDeadlocks(top, routes, nocdr.RemovalOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("removal: %d cycle(s) broken, %d VC(s) added\n\n", res.Iterations, res.AddedVCs)
+	st, err = nocdr.Simulate(res.Topology, g, res.Routes, nocdr.SimConfig{
+		MaxCycles:  50000,
+		LoadFactor: 1.0,
+		Seed:       7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("repaired design, saturation load", st)
+
+	// Phase 3: a finite workload must drain to the last flit.
+	st, err = nocdr.Simulate(res.Topology, g, res.Routes, nocdr.SimConfig{
+		MaxCycles:      200000,
+		PacketsPerFlow: 100,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("repaired design, finite workload (100 packets/flow)", st)
+
+	// Phase 4: the runtime alternative — keep the deadlock-prone design
+	// and let DISHA-style recovery fish packets out of every deadlock.
+	// It works, but throughput collapses compared to the repaired design.
+	st, err = nocdr.Simulate(top, g, routes, nocdr.SimConfig{
+		MaxCycles:  50000,
+		LoadFactor: 1.0,
+		Seed:       7,
+		Recovery:   true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== original design + DISHA-style recovery, saturation load ==\n")
+	fmt.Printf("  recoveries: %d (token grants), %d packets via recovery lane\n",
+		st.Recoveries, st.RecoveredPackets)
+	fmt.Printf("  delivered: %d packets total — compare with the repaired design above\n",
+		st.DeliveredPackets)
+}

@@ -1,0 +1,177 @@
+package nocdr_test
+
+// End-to-end integration properties across the whole public API: random
+// workloads are synthesized, analyzed, repaired by both methods, priced,
+// and simulated, cross-validating the static CDG analysis against the
+// dynamic wormhole behaviour.
+
+import (
+	"math/rand"
+	"testing"
+
+	nocdr "github.com/nocdr/nocdr"
+)
+
+// randomWorkload builds a random communication graph sized for quick
+// integration runs.
+func randomWorkload(seed int64) *nocdr.TrafficGraph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 8 + rng.Intn(12)
+	g := nocdr.NewTraffic("itest")
+	for i := 0; i < n; i++ {
+		g.AddCore("")
+	}
+	flows := 2*n + rng.Intn(2*n)
+	for i := 0; i < flows; i++ {
+		a := nocdr.CoreID(rng.Intn(n))
+		b := nocdr.CoreID(rng.Intn(n))
+		if a != b {
+			g.MustAddFlow(a, b, float64(1+rng.Intn(200)))
+		}
+	}
+	return g
+}
+
+// TestPipelineEndToEnd drives synthesize → analyze → repair → price →
+// simulate for a set of random workloads and checks the invariants that
+// tie the layers together.
+func TestPipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep skipped in -short mode")
+	}
+	params := nocdr.DefaultPowerParams()
+	for seed := int64(1); seed <= 8; seed++ {
+		g := randomWorkload(seed)
+		switches := 3 + int(seed)%6
+		design, err := nocdr.Synthesize(g, nocdr.SynthOptions{SwitchCount: switches})
+		if err != nil {
+			t.Fatalf("seed %d: synth: %v", seed, err)
+		}
+
+		res, err := nocdr.RemoveDeadlocks(design.Topology, design.Routes, nocdr.RemovalOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: remove: %v", seed, err)
+		}
+		if err := res.Verify(); err != nil {
+			t.Fatalf("seed %d: verify: %v", seed, err)
+		}
+		if err := res.Routes.Validate(res.Topology, g); err != nil {
+			t.Fatalf("seed %d: routes: %v", seed, err)
+		}
+
+		// Static/dynamic cross-validation: the repaired design must never
+		// deadlock at saturation with tight buffers.
+		st, err := nocdr.Simulate(res.Topology, g, res.Routes, nocdr.SimConfig{
+			MaxCycles:   15000,
+			LoadFactor:  1.0,
+			BufferDepth: 2,
+			Seed:        seed,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: simulate: %v", seed, err)
+		}
+		if st.Deadlocked {
+			t.Fatalf("seed %d: repaired design deadlocked at cycle %d",
+				seed, st.DeadlockCycle)
+		}
+
+		// Pricing sanity: removal never costs more than resource ordering
+		// under either hardware realization.
+		ro, err := nocdr.ApplyResourceOrdering(design.Topology, design.Routes, nocdr.HopIndex)
+		if err != nil {
+			t.Fatalf("seed %d: ordering: %v", seed, err)
+		}
+		rmArea := nocdr.EstimateArea(params, res.Topology).TotalUM2
+		roArea := nocdr.EstimateArea(params, ro.UniformTopology()).TotalUM2
+		if rmArea > roArea {
+			t.Errorf("seed %d: removal area %.0f above ordering %.0f", seed, rmArea, roArea)
+		}
+		physArea := nocdr.EstimateAreaPhysical(params, res.Topology).TotalUM2
+		if physArea < rmArea {
+			t.Errorf("seed %d: physical realization cheaper than VC realization", seed)
+		}
+	}
+}
+
+// TestAcyclicNeverDeadlocks cross-validates the theory the whole paper
+// rests on (Dally & Towles): designs whose CDG is acyclic never deadlock
+// in simulation, at any load, with any buffer depth.
+func TestAcyclicNeverDeadlocks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep skipped in -short mode")
+	}
+	for seed := int64(20); seed < 28; seed++ {
+		g := randomWorkload(seed)
+		design, err := nocdr.Synthesize(g, nocdr.SynthOptions{SwitchCount: 4 + int(seed)%5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		free, err := nocdr.DeadlockFree(design.Topology, design.Routes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !free {
+			// Make it acyclic first; then the invariant must hold.
+			res, err := nocdr.RemoveDeadlocks(design.Topology, design.Routes, nocdr.RemovalOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			design.Topology, design.Routes = res.Topology, res.Routes
+		}
+		for _, depth := range []int{1, 2, 8} {
+			st, err := nocdr.Simulate(design.Topology, g, design.Routes, nocdr.SimConfig{
+				MaxCycles:   8000,
+				LoadFactor:  1.0,
+				BufferDepth: depth,
+				Seed:        seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Deadlocked {
+				t.Fatalf("seed %d depth %d: acyclic CDG deadlocked — theory violated",
+					seed, depth)
+			}
+		}
+	}
+}
+
+// TestRemovalMatchesOrderingSafety checks that both methods produce
+// genuinely deadlock-free designs under identical saturated workloads.
+func TestRemovalMatchesOrderingSafety(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep skipped in -short mode")
+	}
+	g := randomWorkload(99)
+	design, err := nocdr.Synthesize(g, nocdr.SynthOptions{SwitchCount: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := nocdr.RemoveDeadlocks(design.Topology, design.Routes, nocdr.RemovalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := nocdr.ApplyResourceOrdering(design.Topology, design.Routes, nocdr.HopIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := nocdr.SimConfig{MaxCycles: 15000, LoadFactor: 1.0, BufferDepth: 2, Seed: 11}
+	for name, pair := range map[string]struct {
+		top *nocdr.Topology
+		tab *nocdr.RouteTable
+	}{
+		"removal":  {rm.Topology, rm.Routes},
+		"ordering": {ro.Topology, ro.Routes},
+	} {
+		st, err := nocdr.Simulate(pair.top, g, pair.tab, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.Deadlocked {
+			t.Errorf("%s design deadlocked", name)
+		}
+		if st.DeliveredPackets == 0 {
+			t.Errorf("%s design delivered nothing", name)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/nocdr/nocdr/internal/traffic"
+)
+
+func TestFigure8Shape(t *testing.T) {
+	points, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(Fig8SwitchCounts) {
+		t.Fatalf("got %d points, want %d", len(points), len(Fig8SwitchCounts))
+	}
+	// Paper's headline for D26_media: "for most topologies the overhead
+	// [of the removal algorithm] is zero".
+	zero := 0
+	for _, p := range points {
+		if p.RemovalVCs == 0 {
+			zero++
+		}
+		if p.RemovalVCs > p.OrderingVCs && p.OrderingVCs > 0 {
+			t.Errorf("s=%d: removal (%d) worse than ordering (%d)",
+				p.SwitchCount, p.RemovalVCs, p.OrderingVCs)
+		}
+	}
+	if zero < len(points)/2 {
+		t.Errorf("only %d/%d D26_media points are zero-overhead; paper says most", zero, len(points))
+	}
+	// The ordering overhead must grow substantially across the sweep.
+	if points[len(points)-1].OrderingVCs <= points[0].OrderingVCs {
+		t.Error("ordering overhead does not grow with switch count")
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	points, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(Fig9SwitchCounts) {
+		t.Fatalf("got %d points, want %d", len(points), len(Fig9SwitchCounts))
+	}
+	for _, p := range points {
+		// Figure 9's message: removal stays far below resource ordering on
+		// the dense benchmark at every switch count.
+		if p.OrderingVCs > 0 && float64(p.RemovalVCs) > 0.5*float64(p.OrderingVCs) {
+			t.Errorf("s=%d: removal %d vs ordering %d — not a large reduction",
+				p.SwitchCount, p.RemovalVCs, p.OrderingVCs)
+		}
+	}
+	last := points[len(points)-1]
+	if last.OrderingVCs < 50 {
+		t.Errorf("D36_8 ordering overhead at %d switches = %d; paper shows >100",
+			last.SwitchCount, last.OrderingVCs)
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	rows, err := Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6 benchmarks", len(rows))
+	}
+	for _, r := range rows {
+		if r.NormalizedOrderingPower() < 1.0 {
+			t.Errorf("%s: ordering power below removal (%.3f); Figure 10 shows >= 1",
+				r.Benchmark, r.NormalizedOrderingPower())
+		}
+		if r.RemovalMM2 > r.OrderingMM2 {
+			t.Errorf("%s: removal area exceeds ordering area", r.Benchmark)
+		}
+		if r.RemovalMW < r.NoRemovalMW {
+			t.Errorf("%s: removal power below the no-removal baseline", r.Benchmark)
+		}
+	}
+}
+
+func TestSummaryMatchesPaperBands(t *testing.T) {
+	rows, err := Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sweeps [][]SweepPoint
+	for _, g := range traffic.AllBenchmarks() {
+		sweep, err := VCSweep(g, []int{8, 14, 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweeps = append(sweeps, sweep)
+	}
+	s := Summarize(rows, sweeps...)
+	// The reproduction bands: shapes must land near the paper's numbers.
+	if s.AvgVCReduction < 0.7 {
+		t.Errorf("avg VC reduction = %.0f%%; paper reports 88%%", 100*s.AvgVCReduction)
+	}
+	if s.AvgAreaSaving < 0.3 {
+		t.Errorf("avg area saving = %.0f%%; paper reports 66%%", 100*s.AvgAreaSaving)
+	}
+	if s.AvgPowerSaving <= 0 || s.AvgPowerSaving > 0.5 {
+		t.Errorf("avg power saving = %.1f%%; paper reports 8.6%%", 100*s.AvgPowerSaving)
+	}
+	if s.AvgPowerOverheadVsNoRemoval > 0.05 {
+		t.Errorf("avg power overhead vs no removal = %.1f%%; paper reports <5%%",
+			100*s.AvgPowerOverheadVsNoRemoval)
+	}
+	if s.AvgAreaOverheadVsNoRemoval > 0.05 {
+		t.Errorf("avg area overhead vs no removal = %.1f%%; paper reports <5%%",
+			100*s.AvgAreaOverheadVsNoRemoval)
+	}
+}
+
+func TestRunDeadlockDemoRing(t *testing.T) {
+	// A small dense benchmark at few switches: before/after simulation
+	// must never deadlock after removal.
+	demo, err := RunDeadlockDemo(traffic.D36(8), 8, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if demo.DeadlockAfter {
+		t.Error("deadlock after removal in simulation")
+	}
+	if demo.CyclicBefore && !demo.DeadlockBefore {
+		t.Log("cyclic CDG did not deadlock within horizon (possible but unusual at saturation)")
+	}
+	if !demo.CyclicBefore && demo.DeadlockBefore {
+		t.Error("acyclic design deadlocked: simulator or CDG is wrong")
+	}
+	if demo.DeliveredAfter == 0 {
+		t.Error("nothing delivered after removal")
+	}
+}
+
+func TestTableWriters(t *testing.T) {
+	points, err := VCSweep(traffic.D26Media(), []int{5, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSweepTable(&buf, "Figure 8", points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "removal VCs") {
+		t.Error("sweep table missing header")
+	}
+	buf.Reset()
+	if err := WriteSweepCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(points)+1 {
+		t.Errorf("CSV has %d lines, want %d", lines, len(points)+1)
+	}
+
+	rows, err := PowerComparison(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WritePowerTable(&buf, "Figure 10", rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "norm power") {
+		t.Error("power table missing header")
+	}
+	buf.Reset()
+	if err := WritePowerCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "benchmark,") {
+		t.Error("power CSV missing header")
+	}
+
+	buf.Reset()
+	if err := WriteSummary(&buf, Summarize(rows)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "88%") {
+		t.Error("summary missing paper reference value")
+	}
+
+	buf.Reset()
+	demo := DeadlockDemo{Benchmark: "x", SwitchCount: 4}
+	if err := WriteDemoTable(&buf, []DeadlockDemo{demo}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "deadlock before") {
+		t.Error("demo table missing header")
+	}
+}
+
+func TestVCSweepSkipsOversizedCounts(t *testing.T) {
+	points, err := VCSweep(traffic.D26Media(), []int{5, 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Errorf("oversized switch count not skipped: %d points", len(points))
+	}
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCompareMethods(t *testing.T) {
+	rows, err := CompareMethods(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		// Synthesized topologies are bidirectional: up*/down* must apply.
+		if !r.UpDownOK {
+			t.Errorf("%s: up*/down* unroutable on a bidirectional design", r.Benchmark)
+		}
+		// Turn prohibition never shortens routes.
+		if r.UpDownAvgLen < r.ShortestAvgLen {
+			t.Errorf("%s: up*/down* avg %.2f below shortest %.2f",
+				r.Benchmark, r.UpDownAvgLen, r.ShortestAvgLen)
+		}
+		// Removal must stay far below ordering whenever ordering pays.
+		if r.OrderingVCs > 4 && r.RemovalVCs*2 > r.OrderingVCs {
+			t.Errorf("%s: removal %d VCs vs ordering %d", r.Benchmark, r.RemovalVCs, r.OrderingVCs)
+		}
+		if r.RouteInflation() < 0 {
+			t.Errorf("%s: negative route inflation", r.Benchmark)
+		}
+	}
+}
+
+func TestCompareRecoveryRing(t *testing.T) {
+	top, g, tab, err := RingWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := CompareRecovery("ring", top, g, tab, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Recoveries == 0 {
+		t.Error("saturated ring triggered no recoveries")
+	}
+	if row.RemovalFlits <= row.RecoveryFlits {
+		t.Errorf("removal (%d flits) did not beat recovery (%d flits)",
+			row.RemovalFlits, row.RecoveryFlits)
+	}
+	if row.Speedup() <= 1 {
+		t.Errorf("speedup = %.2f, want > 1", row.Speedup())
+	}
+}
+
+func TestExtensionTableWriters(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []MethodRow{
+		{Benchmark: "a", ShortestAvgLen: 2, RemovalVCs: 1, OrderingVCs: 9, UpDownOK: true, UpDownAvgLen: 2.5},
+		{Benchmark: "b", ShortestAvgLen: 2, RemovalVCs: 0, OrderingVCs: 3}, // unroutable up/down
+	}
+	if err := WriteMethodsTable(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "unroutable") || !strings.Contains(out, "+25%") {
+		t.Errorf("methods table missing fields:\n%s", out)
+	}
+
+	buf.Reset()
+	rrows := []RecoveryRow{{Workload: "w", RemovalFlits: 200, RecoveryFlits: 100, Recoveries: 3}}
+	if err := WriteRecoveryTable(&buf, rrows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2.00x") {
+		t.Errorf("recovery table missing speedup:\n%s", buf.String())
+	}
+}
+
+func TestRecoveryRowSpeedupZeroGuard(t *testing.T) {
+	r := RecoveryRow{RemovalFlits: 10}
+	if r.Speedup() != 0 {
+		t.Error("zero recovery flits should yield speedup 0")
+	}
+}

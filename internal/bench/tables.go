@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// WriteSweepTable renders a Figure 8/9-style sweep as an aligned text
+// table matching the paper's axes: switch count vs. number of VCs for
+// both methods.
+func WriteSweepTable(w io.Writer, title string, points []SweepPoint) error {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "switches\tlinks\tmax route\tremoval VCs\tordering VCs\tbreaks\truntime")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			p.SwitchCount, p.Links, p.MaxRouteLen, p.RemovalVCs, p.OrderingVCs,
+			p.RemovalBreaks, p.RemovalTime.Round(10e3))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteSweepCSV renders a sweep as CSV for plotting.
+func WriteSweepCSV(w io.Writer, points []SweepPoint) error {
+	if _, err := fmt.Fprintln(w, "switch_count,links,max_route,removal_vcs,ordering_vcs,removal_breaks,removal_ns"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d\n",
+			p.SwitchCount, p.Links, p.MaxRouteLen, p.RemovalVCs, p.OrderingVCs,
+			p.RemovalBreaks, p.RemovalTime.Nanoseconds()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePowerTable renders Figure 10 plus the area columns as a text table.
+// The "norm power" column is the paper's plotted quantity (removal = 1.0).
+func WritePowerTable(w io.Writer, title string, rows []PowerRow) error {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tremoval VCs\tordering VCs\tremoval mW\tordering mW\tnorm power\tremoval mm2\tordering mm2\tarea saving")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\t%.1f\t%.3f\t%.3f\t%.3f\t%.0f%%\n",
+			r.Benchmark, r.RemovalVCs, r.OrderingVCs,
+			r.RemovalMW, r.OrderingMW, r.NormalizedOrderingPower(),
+			r.RemovalMM2, r.OrderingMM2, 100*(1-r.RemovalMM2/r.OrderingMM2))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WritePowerCSV renders the power comparison as CSV.
+func WritePowerCSV(w io.Writer, rows []PowerRow) error {
+	if _, err := fmt.Fprintln(w, "benchmark,removal_vcs,ordering_vcs,noremoval_mw,removal_mw,ordering_mw,noremoval_mm2,removal_mm2,ordering_mm2"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%.3f,%.3f,%.3f,%.4f,%.4f,%.4f\n",
+			r.Benchmark, r.RemovalVCs, r.OrderingVCs,
+			r.NoRemovalMW, r.RemovalMW, r.OrderingMW,
+			r.NoRemovalMM2, r.RemovalMM2, r.OrderingMM2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSummary renders the Section 5 scalar claims next to the paper's
+// reported values.
+func WriteSummary(w io.Writer, s Summary) error {
+	fmt.Fprintln(w, "Section 5 scalar claims (paper → measured)")
+	fmt.Fprintln(w, "------------------------------------------")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "avg VC reduction vs resource ordering\t88%%\t%.0f%%\n", 100*s.AvgVCReduction)
+	fmt.Fprintf(tw, "avg area saving vs resource ordering\t66%%\t%.0f%%\n", 100*s.AvgAreaSaving)
+	fmt.Fprintf(tw, "avg power saving vs resource ordering\t8.6%%\t%.1f%%\n", 100*s.AvgPowerSaving)
+	fmt.Fprintf(tw, "avg power overhead vs no removal\t<5%%\t%.1f%% (max %.1f%%)\n",
+		100*s.AvgPowerOverheadVsNoRemoval, 100*s.MaxPowerOverheadVsNoRemoval)
+	fmt.Fprintf(tw, "avg area overhead vs no removal\t<5%%\t%.1f%% (max %.1f%%)\n",
+		100*s.AvgAreaOverheadVsNoRemoval, 100*s.MaxAreaOverheadVsNoRemoval)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteDemoTable renders the simulation validation rows.
+func WriteDemoTable(w io.Writer, demos []DeadlockDemo) error {
+	fmt.Fprintln(w, "Simulation validation (wormhole, saturation load)")
+	fmt.Fprintln(w, "-------------------------------------------------")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tswitches\tcyclic CDG\tdeadlock before\tdeadlock after\tdelivered after\tavg latency")
+	for _, d := range demos {
+		fmt.Fprintf(tw, "%s\t%d\t%v\t%v\t%v\t%d\t%.1f\n",
+			d.Benchmark, d.SwitchCount, d.CyclicBefore, d.DeadlockBefore,
+			d.DeadlockAfter, d.DeliveredAfter, d.AvgLatencyAfter)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

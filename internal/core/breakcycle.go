@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/nocdr/nocdr/internal/route"
+	"github.com/nocdr/nocdr/internal/topology"
+)
+
+// BreakRecord documents one executed cycle break for result reporting and
+// the experiment harness.
+type BreakRecord struct {
+	Cycle       []topology.Channel // the cycle that was broken
+	Direction   Direction          // chosen break direction
+	EdgePos     int                // broken dependency: Cycle[EdgePos]→Cycle[(EdgePos+1)%n]
+	Cost        int                // Algorithm 2's estimate (max duplicate-chain length)
+	NewChannels []topology.Channel // channels actually added (usually Cost of them)
+	Reroutes    []int              // flows moved onto the new channels, ascending
+}
+
+// breakCycle implements BreakCycleForward / BreakCycleBackward: it
+// duplicates the necessary channel vertices (provisioning one new VC per
+// duplicated channel on the same physical link) and reroutes every flow
+// that creates the broken dependency onto the duplicates. Duplicates are
+// shared among the rerouted flows, which is what makes the paper's cost —
+// the maximum chain length over those flows — the number of channels
+// added in the common (chord-free) case.
+func breakCycle(top *topology.Topology, tab *route.Table, cycle []topology.Channel,
+	edge int, dir Direction, cost int) (*BreakRecord, error) {
+
+	n := len(cycle)
+	from, to := cycle[edge], cycle[(edge+1)%n]
+	inCycle := make(map[topology.Channel]bool, n)
+	for _, ch := range cycle {
+		inCycle[ch] = true
+	}
+
+	// Find the flows creating the broken dependency and the chain of
+	// route positions each must vacate.
+	type chain struct {
+		flowID int
+		lo, hi int
+	}
+	var chains []chain
+	for _, r := range tab.Routes() {
+		for i := 0; i+1 < len(r.Channels); i++ {
+			if r.Channels[i] != from || r.Channels[i+1] != to {
+				continue
+			}
+			lo, hi := chainBounds(dir, r.Channels, i, inCycle)
+			chains = append(chains, chain{flowID: r.FlowID, lo: lo, hi: hi})
+			break // a route cannot repeat a channel, so the edge occurs once
+		}
+	}
+	if len(chains) == 0 {
+		return nil, fmt.Errorf("core: dependency %v→%v not created by any flow", from, to)
+	}
+
+	// Duplicate each distinct chain channel once; rerouted flows share the
+	// duplicates (the paper reroutes "the flows", plural, onto "the new
+	// vertices").
+	dup := make(map[topology.Channel]topology.Channel)
+	rec := &BreakRecord{
+		Cycle:     append([]topology.Channel(nil), cycle...),
+		Direction: dir,
+		EdgePos:   edge,
+		Cost:      cost,
+	}
+	for _, c := range chains {
+		r := tab.Route(c.flowID)
+		for i := c.lo; i <= c.hi; i++ {
+			ch := r.Channels[i]
+			if _, done := dup[ch]; done {
+				continue
+			}
+			vc, err := top.AddVC(ch.Link)
+			if err != nil {
+				return nil, fmt.Errorf("core: duplicating %v: %w", ch, err)
+			}
+			dup[ch] = topology.Chan(ch.Link, vc)
+			rec.NewChannels = append(rec.NewChannels, dup[ch])
+		}
+	}
+	for _, c := range chains {
+		r := tab.Route(c.flowID)
+		channels := append([]topology.Channel(nil), r.Channels...)
+		for i := c.lo; i <= c.hi; i++ {
+			channels[i] = dup[channels[i]]
+		}
+		tab.Set(c.flowID, channels)
+		rec.Reroutes = append(rec.Reroutes, c.flowID)
+	}
+	return rec, nil
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/nocdr/nocdr/internal/route"
+	"github.com/nocdr/nocdr/internal/topology"
+)
+
+// CostTable is the per-cycle cost matrix of Algorithm 2 (Table 1 in the
+// paper). Rows are the flows taking part in the cycle; columns are the
+// cycle's dependency edges (edge i runs cycle[i]→cycle[(i+1)%n]). Entry
+// (f, e) is the number of channel vertices that must be duplicated to
+// reroute flow f off dependency e, or 0 if flow f does not create e.
+type CostTable struct {
+	Direction Direction
+	Cycle     []topology.Channel
+	FlowIDs   []int   // row labels, ascending flow ID
+	PerFlow   [][]int // [row][edge]
+	Max       []int   // per-edge maximum over rows (the MAX row of Table 1)
+	BestCost  int     // minimum of Max — the f_cost / b_cost of Algorithm 1
+	BestEdge  int     // first edge position achieving BestCost
+}
+
+// BuildCostTable runs Algorithm 2 (FindDepToBreakForward) or its backward
+// mirror over one cycle. It returns an error if some cycle edge is not
+// created by any flow, which would mean the CDG and the route table are
+// out of sync.
+func BuildCostTable(dir Direction, cycle []topology.Channel, tab *route.Table) (*CostTable, error) {
+	n := len(cycle)
+	inCycle := make(map[topology.Channel]bool, n)
+	for _, ch := range cycle {
+		inCycle[ch] = true
+	}
+	edgeIndex := make(map[[2]topology.Channel]int, n)
+	for i := 0; i < n; i++ {
+		edgeIndex[[2]topology.Channel{cycle[i], cycle[(i+1)%n]}] = i
+	}
+
+	ct := &CostTable{Direction: dir, Cycle: cycle}
+	for _, r := range tab.Routes() {
+		row := flowCosts(dir, r, inCycle, edgeIndex, n)
+		if row == nil {
+			continue // flow creates no dependency of this cycle
+		}
+		ct.FlowIDs = append(ct.FlowIDs, r.FlowID)
+		ct.PerFlow = append(ct.PerFlow, row)
+	}
+	if len(ct.FlowIDs) == 0 {
+		return nil, fmt.Errorf("core: no flow creates any dependency of cycle %v", cycle)
+	}
+
+	ct.Max = make([]int, n)
+	for _, row := range ct.PerFlow {
+		for e, v := range row {
+			if v > ct.Max[e] {
+				ct.Max[e] = v
+			}
+		}
+	}
+	ct.BestCost = -1
+	for e, v := range ct.Max {
+		if v == 0 {
+			return nil, fmt.Errorf("core: cycle edge %d (%v→%v) created by no flow",
+				e, cycle[e], cycle[(e+1)%n])
+		}
+		if ct.BestCost == -1 || v < ct.BestCost {
+			ct.BestCost = v
+			ct.BestEdge = e
+		}
+	}
+	return ct, nil
+}
+
+// flowCosts returns the cost row of one flow, or nil if the flow creates
+// no dependency edge of the cycle.
+//
+// For every consecutive route pair (r[i], r[i+1]) that is a cycle edge e,
+// the cost is the length of the duplicate chain needed to move the flow
+// off e (see chainBounds): forward it is the contiguous stretch of
+// in-cycle channels ending at r[i] (where the flow "entered the cycle",
+// Figure 5); backward it is the stretch starting at r[i+1] and running to
+// where the flow leaves the cycle (Figure 6).
+//
+// The published pseudocode keeps incrementing its counter at every cycle
+// vertex on the path, but the paper's own Table 1 shows 0 for (F2, D4) —
+// F2 uses channel L4 without creating dependency L4→L1 — so the table
+// semantics, implemented here, is: a flow contributes a cost only at the
+// edges it creates.
+func flowCosts(dir Direction, r *route.Route, inCycle map[topology.Channel]bool,
+	edgeIndex map[[2]topology.Channel]int, n int) []int {
+
+	var row []int
+	for i := 0; i+1 < len(r.Channels); i++ {
+		e, ok := edgeIndex[[2]topology.Channel{r.Channels[i], r.Channels[i+1]}]
+		if !ok {
+			continue
+		}
+		if row == nil {
+			row = make([]int, n)
+		}
+		lo, hi := chainBounds(dir, r.Channels, i, inCycle)
+		row[e] = hi - lo + 1
+	}
+	return row
+}
+
+// chainBounds returns the inclusive route-index range [lo, hi] of the
+// channels that must be duplicated to move route chs off the dependency
+// created at position i (chs[i]→chs[i+1]).
+//
+// Forward: the maximal run of in-cycle channels ending at i. Duplicating
+// anything less leaves a dependency from an original in-cycle channel
+// into the duplicate chain, which re-closes the cycle through the new
+// vertices — exactly the trap Figure 7 illustrates.
+//
+// Backward: the maximal run of in-cycle channels starting at i+1.
+func chainBounds(dir Direction, chs []topology.Channel, i int, inCycle map[topology.Channel]bool) (lo, hi int) {
+	if dir == Forward {
+		lo = i
+		for lo > 0 && inCycle[chs[lo-1]] {
+			lo--
+		}
+		return lo, i
+	}
+	hi = i + 1
+	for hi+1 < len(chs) && inCycle[chs[hi+1]] {
+		hi++
+	}
+	return i + 1, hi
+}

@@ -1,0 +1,285 @@
+package core
+
+// Tests in this file pin the implementation to the paper's running
+// example: the 4-switch ring of Figure 1, the cyclic CDG of Figure 2, the
+// forward cost table (Table 1), the break-direction figures (5–7), and
+// the fixed design of Figures 3–4.
+
+import (
+	"testing"
+
+	"github.com/nocdr/nocdr/internal/cdg"
+	"github.com/nocdr/nocdr/internal/route"
+	"github.com/nocdr/nocdr/internal/topology"
+)
+
+// L returns the base channel of 1-based link k, matching the paper's L1..L4.
+func L(k int) topology.Channel { return topology.Chan(topology.LinkID(k-1), 0) }
+
+// paperExample builds Figure 1: ring SW1→SW2→SW3→SW4→SW1 with flows
+// F1={L1,L2,L3}, F2={L3,L4}, F3={L4,L1}, F4={L1,L2}.
+func paperExample() (*topology.Topology, *route.Table) {
+	top := topology.New("figure1")
+	for i := 0; i < 4; i++ {
+		top.AddSwitch("")
+	}
+	for i := 0; i < 4; i++ {
+		top.MustAddLink(topology.SwitchID(i), topology.SwitchID((i+1)%4))
+	}
+	tab := route.NewTable(4)
+	tab.Set(0, []topology.Channel{L(1), L(2), L(3)})
+	tab.Set(1, []topology.Channel{L(3), L(4)})
+	tab.Set(2, []topology.Channel{L(4), L(1)})
+	tab.Set(3, []topology.Channel{L(1), L(2)})
+	return top, tab
+}
+
+// paperCycle is the CDG cycle of Figure 2 in canonical order L1→L2→L3→L4.
+func paperCycle() []topology.Channel {
+	return []topology.Channel{L(1), L(2), L(3), L(4)}
+}
+
+// TestPaperTable1Forward reproduces Table 1 cell by cell: the forward
+// cost table for breaking the Figure 2 cycle.
+func TestPaperTable1Forward(t *testing.T) {
+	_, tab := paperExample()
+	ct, err := BuildCostTable(Forward, paperCycle(), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows are F1..F4 (flow IDs 0..3), columns are D1..D4 where
+	// D1 = L1→L2, D2 = L2→L3, D3 = L3→L4, D4 = L4→L1.
+	want := [][]int{
+		{1, 2, 0, 0}, // F1
+		{0, 0, 1, 0}, // F2
+		{0, 0, 0, 1}, // F3
+		{1, 0, 0, 0}, // F4
+	}
+	wantMax := []int{1, 2, 1, 1}
+	if len(ct.FlowIDs) != 4 {
+		t.Fatalf("flows in cycle = %v, want 4 rows", ct.FlowIDs)
+	}
+	for r, flowID := range ct.FlowIDs {
+		if flowID != r {
+			t.Errorf("row %d is flow %d, want %d", r, flowID, r)
+		}
+		for e := 0; e < 4; e++ {
+			if ct.PerFlow[r][e] != want[r][e] {
+				t.Errorf("cost(F%d, D%d) = %d, want %d (Table 1)",
+					r+1, e+1, ct.PerFlow[r][e], want[r][e])
+			}
+		}
+	}
+	for e := 0; e < 4; e++ {
+		if ct.Max[e] != wantMax[e] {
+			t.Errorf("MAX(D%d) = %d, want %d (Table 1)", e+1, ct.Max[e], wantMax[e])
+		}
+	}
+	if ct.BestCost != 1 {
+		t.Errorf("f_cost = %d, want 1", ct.BestCost)
+	}
+	if ct.BestEdge != 0 {
+		t.Errorf("f_pos = D%d, want D1 (first minimum)", ct.BestEdge+1)
+	}
+}
+
+// TestPaperBackwardCosts checks the mirrored table: costs counted from
+// the broken edge to where each flow exits the cycle (Figure 6).
+func TestPaperBackwardCosts(t *testing.T) {
+	_, tab := paperExample()
+	ct, err := BuildCostTable(Backward, paperCycle(), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// F1 = {L1,L2,L3}: breaking D1 (L1→L2) backward duplicates L2,L3 → 2;
+	// breaking D2 (L2→L3) duplicates L3 → 1.
+	// F2 = {L3,L4}: D3 → duplicate L4 → 1.
+	// F3 = {L4,L1}: D4 → duplicate L1 → 1.
+	// F4 = {L1,L2}: D1 → duplicate L2 → 1.
+	want := [][]int{
+		{2, 1, 0, 0}, // F1
+		{0, 0, 1, 0}, // F2
+		{0, 0, 0, 1}, // F3
+		{1, 0, 0, 0}, // F4
+	}
+	wantMax := []int{2, 1, 1, 1}
+	for r := range want {
+		for e := 0; e < 4; e++ {
+			if ct.PerFlow[r][e] != want[r][e] {
+				t.Errorf("bwd cost(F%d, D%d) = %d, want %d", r+1, e+1, ct.PerFlow[r][e], want[r][e])
+			}
+		}
+	}
+	for e := 0; e < 4; e++ {
+		if ct.Max[e] != wantMax[e] {
+			t.Errorf("bwd MAX(D%d) = %d, want %d", e+1, ct.Max[e], wantMax[e])
+		}
+	}
+	if ct.BestCost != 1 || ct.BestEdge != 1 {
+		t.Errorf("b_cost,b_pos = %d,D%d, want 1,D2", ct.BestCost, ct.BestEdge+1)
+	}
+}
+
+// TestPaperExampleRemoval runs the full Algorithm 1 on the running
+// example: one break, one added VC, acyclic result (Figures 3–4 add L1'
+// and end with |L'|−|L| = 1).
+func TestPaperExampleRemoval(t *testing.T) {
+	top, tab := paperExample()
+	res, err := Remove(top, tab, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InitialAcyclic {
+		t.Error("InitialAcyclic = true; Figure 2 has a cycle")
+	}
+	if res.Iterations != 1 {
+		t.Errorf("Iterations = %d, want 1", res.Iterations)
+	}
+	if res.AddedVCs != 1 {
+		t.Errorf("AddedVCs = %d, want 1 (the paper adds only L1')", res.AddedVCs)
+	}
+	if err := res.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	// The inputs must be untouched.
+	if top.ExtraVCs() != 0 {
+		t.Error("input topology was mutated")
+	}
+	if tab.Route(2).Channels[1] != L(1) {
+		t.Error("input route table was mutated")
+	}
+	// The chosen break: forward at D1 with cost 1 (duplicate L1, reroute
+	// F1 and F4 onto L1').
+	b := res.Breaks[0]
+	if b.Direction != Forward || b.EdgePos != 0 || b.Cost != 1 {
+		t.Errorf("break = %s at D%d cost %d, want forward at D1 cost 1",
+			b.Direction, b.EdgePos+1, b.Cost)
+	}
+	if len(b.NewChannels) != 1 || b.NewChannels[0] != topology.Chan(0, 1) {
+		t.Errorf("NewChannels = %v, want [L1']", b.NewChannels)
+	}
+	if len(b.Reroutes) != 2 || b.Reroutes[0] != 0 || b.Reroutes[1] != 3 {
+		t.Errorf("Reroutes = %v, want [0 3] (F1 and F4 create L1→L2)", b.Reroutes)
+	}
+	// F1 and F4 now start on L1'; F2, F3 are untouched.
+	l1p := topology.Chan(0, 1)
+	if res.Routes.Route(0).Channels[0] != l1p || res.Routes.Route(3).Channels[0] != l1p {
+		t.Error("rerouted flows do not use L1'")
+	}
+	if res.Routes.Route(2).Channels[1] != L(1) {
+		t.Error("flow F3 was rerouted but does not create the broken dependency")
+	}
+}
+
+// TestSuffixDuplicationReclosesCycle demonstrates Figure 7: duplicating
+// only the vertex at the broken edge (a suffix of the needed chain) keeps
+// the cyclic dependency alive through the new vertex, which is why the
+// cost of breaking D2 for F1 is 2, not 1.
+func TestSuffixDuplicationReclosesCycle(t *testing.T) {
+	top, tab := paperExample()
+	// Manual wrong fix: duplicate only L2 and move F1's second hop to L2',
+	// leaving its first hop on L1.
+	vc, err := top.AddVC(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2p := topology.Chan(1, vc)
+	tab.Set(0, []topology.Channel{L(1), l2p, L(3)})
+	g, err := cdg.Build(top, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Acyclic() {
+		t.Fatal("Figure 7 situation should still be cyclic: L1→L2'→L3→L4→L1")
+	}
+	// The surviving cycle must route through the new vertex L2'.
+	cycle := g.SmallestCycle()
+	found := false
+	for _, ch := range cycle {
+		if ch == l2p {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("surviving cycle %v does not pass through L2'", cycle)
+	}
+}
+
+// TestBreakForwardDirection pins Figure 5's semantics: breaking D2 in the
+// forward direction duplicates both L1 and L2 (the chain from where F1
+// enters the cycle), and the result is acyclic in one step.
+func TestBreakForwardDirection(t *testing.T) {
+	top, tab := paperExample()
+	rec, err := breakCycle(top, tab, paperCycle(), 1, Forward, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.NewChannels) != 2 {
+		t.Fatalf("NewChannels = %v, want L1' and L2'", rec.NewChannels)
+	}
+	wantNew := []topology.Channel{topology.Chan(0, 1), topology.Chan(1, 1)}
+	for i, want := range wantNew {
+		if rec.NewChannels[i] != want {
+			t.Errorf("NewChannels[%d] = %v, want %v", i, rec.NewChannels[i], want)
+		}
+	}
+	// Only F1 creates L2→L3.
+	if len(rec.Reroutes) != 1 || rec.Reroutes[0] != 0 {
+		t.Errorf("Reroutes = %v, want [0]", rec.Reroutes)
+	}
+	// F1 must now be {L1', L2', L3}.
+	got := tab.Route(0).Channels
+	want := []topology.Channel{topology.Chan(0, 1), topology.Chan(1, 1), L(3)}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("F1 route hop %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	g, err := cdg.Build(top, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Acyclic() {
+		t.Error("forward break of D2 with full chain left the CDG cyclic")
+	}
+}
+
+// TestBreakBackwardDirection pins Figure 6's semantics: breaking D1 in
+// the backward direction duplicates the chain from after the edge to the
+// cycle exit — for F1 that is L2 and L3, for F4 just L2 — and the
+// duplicates are shared.
+func TestBreakBackwardDirection(t *testing.T) {
+	top, tab := paperExample()
+	rec, err := breakCycle(top, tab, paperCycle(), 0, Backward, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.NewChannels) != 2 {
+		t.Fatalf("NewChannels = %v, want L2' and L3'", rec.NewChannels)
+	}
+	if len(rec.Reroutes) != 2 {
+		t.Fatalf("Reroutes = %v, want F1 and F4", rec.Reroutes)
+	}
+	l2p, l3p := topology.Chan(1, 1), topology.Chan(2, 1)
+	gotF1 := tab.Route(0).Channels
+	wantF1 := []topology.Channel{L(1), l2p, l3p}
+	for i := range wantF1 {
+		if gotF1[i] != wantF1[i] {
+			t.Errorf("F1 hop %d = %v, want %v", i, gotF1[i], wantF1[i])
+		}
+	}
+	gotF4 := tab.Route(3).Channels
+	wantF4 := []topology.Channel{L(1), l2p}
+	for i := range wantF4 {
+		if gotF4[i] != wantF4[i] {
+			t.Errorf("F4 hop %d = %v, want %v", i, gotF4[i], wantF4[i])
+		}
+	}
+	g, err := cdg.Build(top, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Acyclic() {
+		t.Error("backward break of D1 left the CDG cyclic")
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/nocdr/nocdr/internal/cdg"
+	"github.com/nocdr/nocdr/internal/route"
+	"github.com/nocdr/nocdr/internal/topology"
+)
+
+// Result reports what Remove did. Topology and Routes are modified deep
+// copies; the inputs are never mutated.
+type Result struct {
+	Topology *topology.Topology
+	Routes   *route.Table
+	// AddedVCs is |L'|−|L|: the number of channels added to make the CDG
+	// acyclic — the quantity the paper minimizes.
+	AddedVCs int
+	// Iterations counts executed cycle breaks (Algorithm 1 loop trips).
+	Iterations int
+	// InitialAcyclic is true when the input CDG already had no cycles, the
+	// case the paper highlights for most application-specific topologies.
+	InitialAcyclic bool
+	// Breaks logs every executed break in order.
+	Breaks []BreakRecord
+}
+
+// Remove runs the paper's Algorithm 1 on a topology and route table: it
+// builds the channel dependency graph, and while a cycle exists it breaks
+// the smallest one at the cheapest dependency in the cheaper of the two
+// directions, adding VCs and rerouting flows. On success the returned
+// topology/routes have an acyclic CDG.
+//
+// The inputs are not modified. Remove fails if a cycle edge cannot be
+// attributed to a flow (inconsistent inputs) or if opts.MaxIterations is
+// exceeded (never observed on the paper's benchmark family; the bound
+// exists to fail loudly instead of looping).
+func Remove(top *topology.Topology, tab *route.Table, opts Options) (*Result, error) {
+	res := &Result{
+		Topology: top.Clone(),
+		Routes:   tab.Clone(),
+	}
+	maxIter := opts.maxIterations()
+	for {
+		g, err := cdg.Build(res.Topology, res.Routes)
+		if err != nil {
+			return nil, err
+		}
+		cycle := selectCycle(g, opts.Selection)
+		if cycle == nil {
+			res.InitialAcyclic = res.Iterations == 0
+			return res, nil
+		}
+		if len(cycle) < 2 {
+			return nil, fmt.Errorf("core: degenerate self-dependency on channel %v (route repeats a channel?)", cycle)
+		}
+		if res.Iterations >= maxIter {
+			return nil, fmt.Errorf("core: cycle remains after %d breaks (MaxIterations reached)", res.Iterations)
+		}
+
+		dir, ct, err := chooseBreak(cycle, res.Routes, opts.Policy)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := breakCycle(res.Topology, res.Routes, cycle, ct.BestEdge, dir, ct.BestCost)
+		if err != nil {
+			return nil, err
+		}
+		res.Breaks = append(res.Breaks, *rec)
+		res.AddedVCs += len(rec.NewChannels)
+		res.Iterations++
+	}
+}
+
+// selectCycle returns the next cycle to break under the given policy, or
+// nil if the CDG is acyclic.
+func selectCycle(g *cdg.CDG, sel CycleSelection) []topology.Channel {
+	switch sel {
+	case FirstFound:
+		// Any cycle will do; reuse the smallest-cycle search but stop at
+		// the first vertex that closes a cycle by taking the cycle through
+		// the lowest-numbered cyclic channel.
+		cyclic := g.CyclicChannels()
+		if len(cyclic) == 0 {
+			return nil
+		}
+		// Deterministic "arbitrary" cycle: shortest cycle through the
+		// first cyclic channel only. This is still cheaper than the full
+		// smallest-first scan and deliberately non-optimal for ablation.
+		return g.SmallestCycleThrough(cyclic[0])
+	default:
+		return g.SmallestCycle()
+	}
+}
+
+// chooseBreak evaluates Algorithm 2 in the allowed directions and picks
+// the cheaper one (forward wins ties, per Algorithm 1 step 7).
+func chooseBreak(cycle []topology.Channel, tab *route.Table, policy DirectionPolicy) (Direction, *CostTable, error) {
+	switch policy {
+	case ForwardOnly:
+		ct, err := BuildCostTable(Forward, cycle, tab)
+		return Forward, ct, err
+	case BackwardOnly:
+		ct, err := BuildCostTable(Backward, cycle, tab)
+		return Backward, ct, err
+	}
+	fwd, err := BuildCostTable(Forward, cycle, tab)
+	if err != nil {
+		return Forward, nil, err
+	}
+	bwd, err := BuildCostTable(Backward, cycle, tab)
+	if err != nil {
+		return Backward, nil, err
+	}
+	if fwd.BestCost <= bwd.BestCost {
+		return Forward, fwd, nil
+	}
+	return Backward, bwd, nil
+}
+
+// DeadlockFree reports whether the topology/route pair already has an
+// acyclic CDG (no removal needed).
+func DeadlockFree(top *topology.Topology, tab *route.Table) (bool, error) {
+	g, err := cdg.Build(top, tab)
+	if err != nil {
+		return false, err
+	}
+	return g.Acyclic(), nil
+}
+
+// Verify checks a Result: its CDG must be acyclic and every rerouted
+// flow's channels must be provisioned in the result topology. It is used
+// by tests and by the CLI after every removal.
+func (r *Result) Verify() error {
+	g, err := cdg.Build(r.Topology, r.Routes)
+	if err != nil {
+		return err
+	}
+	if !g.Acyclic() {
+		return fmt.Errorf("core: result CDG still cyclic")
+	}
+	for _, rt := range r.Routes.Routes() {
+		for i, ch := range rt.Channels {
+			if !r.Topology.ValidChannel(ch) {
+				return fmt.Errorf("core: flow %d hop %d references unprovisioned channel %v", rt.FlowID, i, ch)
+			}
+		}
+	}
+	return nil
+}

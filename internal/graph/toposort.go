@@ -1,0 +1,80 @@
+package graph
+
+// TopoSort returns a topological order of the nodes (Kahn's algorithm) and
+// true, or nil and false if the graph contains a cycle. Among ready nodes
+// the smallest ID is emitted first, so the order is canonical.
+func (g *Digraph) TopoSort() ([]int, bool) {
+	n := len(g.succ)
+	indeg := make([]int, n)
+	for _, adj := range g.succ {
+		for _, v := range adj {
+			indeg[v]++
+		}
+	}
+	// A sorted ready "queue" realized as a min-heap over node IDs would be
+	// overkill; CDGs are small enough that a linear scan per pop is fine,
+	// but we keep it O((V+E) log V) with a simple binary heap inline.
+	ready := &intHeap{}
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			ready.push(v)
+		}
+	}
+	order := make([]int, 0, n)
+	for ready.len() > 0 {
+		u := ready.pop()
+		order = append(order, u)
+		for _, v := range g.succ[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready.push(v)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, false
+	}
+	return order, true
+}
+
+// intHeap is a minimal binary min-heap of ints.
+type intHeap struct{ s []int }
+
+func (h *intHeap) len() int { return len(h.s) }
+
+func (h *intHeap) push(v int) {
+	h.s = append(h.s, v)
+	i := len(h.s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.s[p] <= h.s[i] {
+			break
+		}
+		h.s[p], h.s[i] = h.s[i], h.s[p]
+		i = p
+	}
+}
+
+func (h *intHeap) pop() int {
+	top := h.s[0]
+	last := len(h.s) - 1
+	h.s[0] = h.s[last]
+	h.s = h.s[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.s) && h.s[l] < h.s[small] {
+			small = l
+		}
+		if r < len(h.s) && h.s[r] < h.s[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.s[i], h.s[small] = h.s[small], h.s[i]
+		i = small
+	}
+	return top
+}

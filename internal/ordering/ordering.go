@@ -1,0 +1,211 @@
+// Package ordering implements the paper's comparison baseline: resource
+// ordering (Dally & Towles, the paper's reference [10]). Every channel is
+// assigned a totally ordered resource class and a flow may only acquire
+// channels with strictly increasing classes along its route. Given fixed
+// routes on an arbitrary topology this is always achievable by layering
+// virtual channels; the number of layers a link must offer is the VC
+// overhead that the paper's Figures 8–9 plot as the dotted line.
+//
+// The paper describes the textbook realization: "the number of classes
+// needed for a flow depends on the length of the route", i.e. a packet
+// climbs one class per hop (HopIndex below, the default). Two greedy
+// variants that climb only when a static link rank fails to increase are
+// provided for the ablation study; they need fewer VCs but are still far
+// costlier than deadlock removal.
+package ordering
+
+import (
+	"fmt"
+
+	"github.com/nocdr/nocdr/internal/route"
+	"github.com/nocdr/nocdr/internal/topology"
+)
+
+// Scheme selects how resource classes are assigned along a route.
+type Scheme int
+
+const (
+	// HopIndex gives hop i of every route class layer i — the paper's
+	// description of the baseline ("the number of classes needed for a
+	// flow depends on the length of the route"). Default.
+	HopIndex Scheme = iota
+	// GreedyBFS keeps a flow in its current layer while a BFS-derived
+	// link rank climbs, stepping up a layer only on a rank descent.
+	GreedyBFS
+	// GreedyByID is GreedyBFS with the naive creation-order link rank.
+	GreedyByID
+)
+
+// String names the scheme for reports.
+func (s Scheme) String() string {
+	switch s {
+	case HopIndex:
+		return "hop-index"
+	case GreedyBFS:
+		return "greedy-bfs"
+	case GreedyByID:
+		return "greedy-id"
+	}
+	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// Result reports the outcome of applying resource ordering. Topology and
+// Routes are modified deep copies; inputs are untouched.
+type Result struct {
+	Topology *topology.Topology
+	Routes   *route.Table
+	// AddedVCs is the number of channels added so each link offers every
+	// layer demanded by the flows crossing it — the Figures 8–9 metric.
+	AddedVCs int
+	// Layers is the number of VC layers used (max over links).
+	Layers int
+	// Classes is the number of distinct resource classes, layers × links.
+	Classes int
+}
+
+// Apply makes the routed network deadlock-free with resource ordering:
+// it computes a class assignment under the chosen scheme, moves every
+// route onto the VC layers the assignment demands, and provisions those
+// VCs. The physical path of every flow is preserved; only VC indices
+// change.
+func Apply(top *topology.Topology, tab *route.Table, scheme Scheme) (*Result, error) {
+	res := &Result{
+		Topology: top.Clone(),
+		Routes:   tab.Clone(),
+	}
+	var rank map[topology.LinkID]int
+	switch scheme {
+	case HopIndex:
+		// No rank needed: the layer is the hop position.
+	case GreedyBFS, GreedyByID:
+		var err error
+		rank, err = linkRanks(res.Topology, scheme)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("ordering: unknown scheme %v", scheme)
+	}
+
+	maxLayer := make(map[topology.LinkID]int, res.Topology.NumLinks())
+	for _, r := range res.Routes.Routes() {
+		if len(r.Channels) == 0 {
+			continue
+		}
+		channels := append([]topology.Channel(nil), r.Channels...)
+		layer := 0
+		prevRank := -1
+		for i, ch := range channels {
+			switch scheme {
+			case HopIndex:
+				layer = i
+			default:
+				lr, ok := rank[ch.Link]
+				if !ok {
+					return nil, fmt.Errorf("ordering: flow %d uses unranked link %d", r.FlowID, ch.Link)
+				}
+				if lr <= prevRank {
+					layer++
+				}
+				prevRank = lr
+			}
+			channels[i] = topology.Chan(ch.Link, layer)
+			if layer > maxLayer[ch.Link] {
+				maxLayer[ch.Link] = layer
+			}
+		}
+		res.Routes.Set(r.FlowID, channels)
+		if layer+1 > res.Layers {
+			res.Layers = layer + 1
+		}
+	}
+
+	// Provision the layers each link must offer.
+	for link, top := range maxLayer {
+		for res.Topology.Link(link).VCs <= top {
+			if _, err := res.Topology.AddVC(link); err != nil {
+				return nil, err
+			}
+			res.AddedVCs++
+		}
+	}
+	res.Classes = res.Layers * res.Topology.NumLinks()
+	return res, nil
+}
+
+// UniformTopology returns the hardware a resource-ordered design is
+// built from in practice: since the router microarchitecture implements
+// the class scheme, every link port provides all Layers VC layers, not
+// just the layers the routed flows happen to touch. The paper's area and
+// power comparisons (Figure 10 and the 66% claim) reflect this uniform
+// provisioning; its VC counts (Figures 8–9) count only the layers
+// actually demanded per link, which is what AddedVCs reports.
+func (r *Result) UniformTopology() *topology.Topology {
+	t := r.Topology.Clone()
+	if r.Layers <= 1 {
+		return t
+	}
+	for _, l := range t.Links() {
+		for t.Link(l.ID).VCs < r.Layers {
+			if _, err := t.AddVC(l.ID); err != nil {
+				// Clone of a valid topology: AddVC can only fail on a bad
+				// link ID, which cannot happen while iterating Links.
+				panic(err)
+			}
+		}
+	}
+	return t
+}
+
+// linkRanks returns a total order over physical links for the greedy
+// schemes.
+func linkRanks(top *topology.Topology, scheme Scheme) (map[topology.LinkID]int, error) {
+	ranks := make(map[topology.LinkID]int, top.NumLinks())
+	switch scheme {
+	case GreedyByID:
+		for _, l := range top.Links() {
+			ranks[l.ID] = int(l.ID)
+		}
+	case GreedyBFS:
+		// Rank links in BFS discovery order over switches starting from
+		// switch 0 (joining unreached components as they appear). Links
+		// leaving earlier-discovered switches get lower ranks, so routes
+		// that fan outward climb monotonically.
+		if top.NumSwitches() == 0 {
+			return ranks, nil
+		}
+		seen := make([]bool, top.NumSwitches())
+		var order []int
+		for start := 0; start < top.NumSwitches(); start++ {
+			if seen[start] {
+				continue
+			}
+			seen[start] = true
+			queue := []int{start}
+			for qi := 0; qi < len(queue); qi++ {
+				sw := queue[qi]
+				order = append(order, sw)
+				for _, lid := range top.OutLinks(topology.SwitchID(sw)) {
+					to := int(top.Link(lid).To)
+					if !seen[to] {
+						seen[to] = true
+						queue = append(queue, to)
+					}
+				}
+			}
+		}
+		next := 0
+		for _, sw := range order {
+			for _, lid := range top.OutLinks(topology.SwitchID(sw)) {
+				ranks[lid] = next
+				next++
+			}
+		}
+	default:
+		return nil, fmt.Errorf("ordering: scheme %v has no link ranks", scheme)
+	}
+	if len(ranks) != top.NumLinks() {
+		return nil, fmt.Errorf("ordering: ranked %d of %d links", len(ranks), top.NumLinks())
+	}
+	return ranks, nil
+}

@@ -1,0 +1,302 @@
+package ordering
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/nocdr/nocdr/internal/cdg"
+	"github.com/nocdr/nocdr/internal/route"
+	"github.com/nocdr/nocdr/internal/topology"
+	"github.com/nocdr/nocdr/internal/traffic"
+)
+
+var allSchemes = []Scheme{HopIndex, GreedyBFS, GreedyByID}
+
+// paperExample builds the Figure 1 ring with the paper's four flows.
+func paperExample() (*topology.Topology, *route.Table) {
+	top := topology.New("figure1")
+	for i := 0; i < 4; i++ {
+		top.AddSwitch("")
+	}
+	for i := 0; i < 4; i++ {
+		top.MustAddLink(topology.SwitchID(i), topology.SwitchID((i+1)%4))
+	}
+	ch := func(ids ...int) []topology.Channel {
+		out := make([]topology.Channel, len(ids))
+		for i, id := range ids {
+			out[i] = topology.Chan(topology.LinkID(id), 0)
+		}
+		return out
+	}
+	tab := route.NewTable(4)
+	tab.Set(0, ch(0, 1, 2))
+	tab.Set(1, ch(2, 3))
+	tab.Set(2, ch(3, 0))
+	tab.Set(3, ch(0, 1))
+	return top, tab
+}
+
+func TestApplyMakesPaperExampleAcyclic(t *testing.T) {
+	for _, scheme := range allSchemes {
+		top, tab := paperExample()
+		res, err := Apply(top, tab, scheme)
+		if err != nil {
+			t.Fatalf("scheme %v: %v", scheme, err)
+		}
+		g, err := cdg.Build(res.Topology, res.Routes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Acyclic() {
+			t.Errorf("scheme %v: resource ordering left a cyclic CDG", scheme)
+		}
+		if res.AddedVCs < 1 {
+			t.Errorf("scheme %v: ring needs at least one extra VC, got %d", scheme, res.AddedVCs)
+		}
+	}
+}
+
+func TestHopIndexClassesMatchRouteLength(t *testing.T) {
+	// The defining property of the paper's baseline: a flow of length n
+	// uses layers 0..n-1, so the longest route sets the layer count.
+	top, tab := paperExample()
+	res, err := Apply(top, tab, HopIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Layers != tab.MaxLen() {
+		t.Errorf("Layers = %d, want max route length %d", res.Layers, tab.MaxLen())
+	}
+	for _, r := range res.Routes.Routes() {
+		for i, ch := range r.Channels {
+			if ch.VC != i {
+				t.Fatalf("flow %d hop %d on VC %d, want %d", r.FlowID, i, ch.VC, i)
+			}
+		}
+	}
+	// Ring: L1 carries hops 0 (F1, F4) and 1 (F3) → 1 extra VC;
+	// L2 carries hop 1 → 1 extra; L3 carries hops 0 and 2 → 2 extra;
+	// L4 carries hops 0 and 1 → 1 extra. Total 5.
+	if res.AddedVCs != 5 {
+		t.Errorf("AddedVCs = %d, want 5", res.AddedVCs)
+	}
+}
+
+func TestApplyDoesNotMutateInputs(t *testing.T) {
+	for _, scheme := range allSchemes {
+		top, tab := paperExample()
+		if _, err := Apply(top, tab, scheme); err != nil {
+			t.Fatal(err)
+		}
+		if top.ExtraVCs() != 0 {
+			t.Errorf("scheme %v: input topology mutated", scheme)
+		}
+		for _, r := range tab.Routes() {
+			for _, ch := range r.Channels {
+				if ch.VC != 0 {
+					t.Fatalf("scheme %v: input routes mutated", scheme)
+				}
+			}
+		}
+	}
+}
+
+func TestGreedyClassesStrictlyIncrease(t *testing.T) {
+	// The greedy schemes must produce a strictly increasing (layer, rank)
+	// sequence along every route.
+	for _, scheme := range []Scheme{GreedyBFS, GreedyByID} {
+		top, tab := paperExample()
+		res, err := Apply(top, tab, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rank, err := linkRanks(res.Topology, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res.Routes.Routes() {
+			prevLayer, prevRank := -1, -1
+			for _, ch := range r.Channels {
+				layer, lr := ch.VC, rank[ch.Link]
+				if layer < prevLayer || (layer == prevLayer && lr <= prevRank) {
+					t.Fatalf("scheme %v flow %d: class (%d,%d) after (%d,%d) not increasing",
+						scheme, r.FlowID, layer, lr, prevLayer, prevRank)
+				}
+				prevLayer, prevRank = layer, lr
+			}
+		}
+	}
+}
+
+func TestPhysicalPathsPreserved(t *testing.T) {
+	for _, scheme := range allSchemes {
+		top, tab := paperExample()
+		res, err := Apply(top, tab, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range tab.Routes() {
+			got := res.Routes.Route(r.FlowID)
+			if got.Len() != r.Len() {
+				t.Fatalf("scheme %v flow %d length changed", scheme, r.FlowID)
+			}
+			for i := range r.Channels {
+				if got.Channels[i].Link != r.Channels[i].Link {
+					t.Fatalf("scheme %v flow %d hop %d physical link changed", scheme, r.FlowID, i)
+				}
+			}
+		}
+	}
+}
+
+func TestLayerCountMatchesProvisioning(t *testing.T) {
+	for _, scheme := range allSchemes {
+		top, tab := paperExample()
+		res, err := Apply(top, tab, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Topology.MaxVCs() != res.Layers {
+			t.Errorf("scheme %v: MaxVCs = %d but Layers = %d", scheme, res.Topology.MaxVCs(), res.Layers)
+		}
+		if res.Classes != res.Layers*res.Topology.NumLinks() {
+			t.Errorf("scheme %v: Classes = %d, want %d", scheme, res.Classes, res.Layers*res.Topology.NumLinks())
+		}
+		for _, r := range res.Routes.Routes() {
+			for _, ch := range r.Channels {
+				if !res.Topology.ValidChannel(ch) {
+					t.Fatalf("scheme %v: flow %d uses unprovisioned channel %v", scheme, r.FlowID, ch)
+				}
+			}
+		}
+	}
+}
+
+func TestOverheadGrowsWithRouteLength(t *testing.T) {
+	// One flow around most of a ring: the hop-index overhead must grow
+	// with the route length — the effect behind Figures 8–9.
+	makeRing := func(n, routeLen int) (*topology.Topology, *route.Table) {
+		top := topology.New("ring")
+		for i := 0; i < n; i++ {
+			top.AddSwitch("")
+		}
+		for i := 0; i < n; i++ {
+			top.MustAddLink(topology.SwitchID(i), topology.SwitchID((i+1)%n))
+		}
+		tab := route.NewTable(1)
+		chs := make([]topology.Channel, routeLen)
+		for i := 0; i < routeLen; i++ {
+			chs[i] = topology.Chan(topology.LinkID(i), 0)
+		}
+		tab.Set(0, chs)
+		return top, tab
+	}
+	top1, tab1 := makeRing(12, 4)
+	top2, tab2 := makeRing(12, 10)
+	short, err := Apply(top1, tab1, HopIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Apply(top2, tab2, HopIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.AddedVCs <= short.AddedVCs {
+		t.Errorf("long route added %d VCs, short %d: overhead should grow",
+			long.AddedVCs, short.AddedVCs)
+	}
+	// 4-hop route: hops on VC 0..3 over distinct links → 0+1+2+3 = 6.
+	if short.AddedVCs != 6 {
+		t.Errorf("short ring AddedVCs = %d, want 6", short.AddedVCs)
+	}
+}
+
+func TestGreedyCheaperThanHopIndex(t *testing.T) {
+	// The greedy ablations exist because they dominate the hop-index
+	// baseline; pin that relationship on the ring.
+	topA, tabA := paperExample()
+	hop, err := Apply(topA, tabA, HopIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topB, tabB := paperExample()
+	bfs, err := Apply(topB, tabB, GreedyBFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bfs.AddedVCs > hop.AddedVCs {
+		t.Errorf("greedy (%d VCs) worse than hop-index (%d VCs)", bfs.AddedVCs, hop.AddedVCs)
+	}
+}
+
+func TestUnknownSchemeRejected(t *testing.T) {
+	top, tab := paperExample()
+	if _, err := Apply(top, tab, Scheme(99)); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if HopIndex.String() != "hop-index" || GreedyBFS.String() != "greedy-bfs" ||
+		GreedyByID.String() != "greedy-id" {
+		t.Error("scheme names wrong")
+	}
+	if Scheme(42).String() == "" {
+		t.Error("unknown scheme has empty name")
+	}
+}
+
+// Property: on random connected topologies with shortest-path routes,
+// every scheme yields an acyclic CDG and valid routes.
+func TestApplyAlwaysAcyclicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		top := topology.New("p")
+		for i := 0; i < n; i++ {
+			sw := top.AddSwitch("")
+			top.AttachCore(i, sw)
+		}
+		for i := 0; i < n; i++ {
+			top.AddBidi(topology.SwitchID(i), topology.SwitchID((i+1)%n))
+		}
+		for i := 0; i < n; i++ {
+			a, b := topology.SwitchID(rng.Intn(n)), topology.SwitchID(rng.Intn(n))
+			if a != b {
+				top.AddLink(a, b)
+			}
+		}
+		g := traffic.NewGraph("p")
+		for i := 0; i < n; i++ {
+			g.AddCore("")
+		}
+		for i := 0; i < 3*n; i++ {
+			a, b := traffic.CoreID(rng.Intn(n)), traffic.CoreID(rng.Intn(n))
+			if a != b {
+				g.MustAddFlow(a, b, 1+float64(rng.Intn(50)))
+			}
+		}
+		tab, err := route.ShortestPaths(top, g)
+		if err != nil {
+			return false
+		}
+		for _, scheme := range allSchemes {
+			res, err := Apply(top, tab, scheme)
+			if err != nil {
+				return false
+			}
+			c, err := cdg.Build(res.Topology, res.Routes)
+			if err != nil || !c.Acyclic() {
+				return false
+			}
+			if res.Routes.Validate(res.Topology, g) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

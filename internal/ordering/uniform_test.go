@@ -1,0 +1,63 @@
+package ordering
+
+import (
+	"testing"
+
+	"github.com/nocdr/nocdr/internal/route"
+	"github.com/nocdr/nocdr/internal/topology"
+)
+
+func TestUniformTopologyProvisionsAllLinks(t *testing.T) {
+	top, tab := paperExample()
+	res, err := Apply(top, tab, HopIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Layers < 2 {
+		t.Fatalf("ring needs >= 2 layers, got %d", res.Layers)
+	}
+	hw := res.UniformTopology()
+	for _, l := range hw.Links() {
+		if l.VCs != res.Layers {
+			t.Errorf("link %d has %d VCs, want uniform %d", l.ID, l.VCs, res.Layers)
+		}
+	}
+	// The routed design's topology must be untouched (demand-only VCs).
+	demand := 0
+	for _, l := range res.Topology.Links() {
+		if l.VCs < res.Layers {
+			demand++
+		}
+	}
+	if demand == 0 {
+		t.Error("routed topology already uniform; UniformTopology test is vacuous")
+	}
+	// Routes must remain provisioned on the uniform hardware.
+	for _, r := range res.Routes.Routes() {
+		for _, ch := range r.Channels {
+			if !hw.ValidChannel(ch) {
+				t.Fatalf("flow %d channel %v not provisioned on uniform hardware", r.FlowID, ch)
+			}
+		}
+	}
+}
+
+func TestUniformTopologySingleLayerIsClone(t *testing.T) {
+	// One-hop-only routes need a single layer; the uniform hardware then
+	// equals the routed topology.
+	top, _ := paperExample()
+	tab := route.NewTable(2)
+	tab.Set(0, []topology.Channel{topology.Chan(0, 0)})
+	tab.Set(1, []topology.Channel{topology.Chan(2, 0)})
+	res, err := Apply(top, tab, HopIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Layers != 1 {
+		t.Fatalf("layers = %d, want 1", res.Layers)
+	}
+	hw := res.UniformTopology()
+	if hw.TotalVCs() != res.Topology.TotalVCs() {
+		t.Error("single-layer uniform hardware grew")
+	}
+}

@@ -1,0 +1,99 @@
+package power
+
+import (
+	"fmt"
+
+	"github.com/nocdr/nocdr/internal/route"
+	"github.com/nocdr/nocdr/internal/topology"
+	"github.com/nocdr/nocdr/internal/traffic"
+)
+
+// The paper notes the removal algorithm "is also possible to add physical
+// channels if the NoC architecture does not support VCs": the CDG
+// mathematics is identical, only the hardware realization of the extra
+// channels differs. This file prices that realization: every channel
+// beyond a link's first becomes a parallel physical link with its own
+// wire bundle, its own switch input/output port and its own buffer — no
+// VC allocator or per-port VC muxing, but more crossbar and more wires.
+
+// physicalShape expands every multi-VC port into that many single-VC
+// ports, which is exactly what a VC-less architecture must build.
+func physicalShape(s SwitchShape) SwitchShape {
+	out := SwitchShape{ID: s.ID}
+	for _, v := range s.InVCs {
+		for i := 0; i < v; i++ {
+			out.InVCs = append(out.InVCs, 1)
+		}
+	}
+	for _, v := range s.OutVCs {
+		for i := 0; i < v; i++ {
+			out.OutVCs = append(out.OutVCs, 1)
+		}
+	}
+	return out
+}
+
+// NoCAreaPhysical returns the switch area of the topology when every
+// extra channel is implemented as a parallel physical link instead of a
+// virtual channel.
+func NoCAreaPhysical(p Params, top *topology.Topology) AreaReport {
+	var rep AreaReport
+	for _, s := range shapes(top) {
+		a := SwitchAreaUM2(p, physicalShape(s))
+		rep.PerSwitch = append(rep.PerSwitch, a)
+		rep.SwitchUM2 += a
+	}
+	rep.TotalUM2 = rep.SwitchUM2
+	return rep
+}
+
+// NoCPowerPhysical evaluates total NoC power under the physical-channel
+// realization: per-hop buffer energy has no VC-mux scaling (each port has
+// one buffer), but every provisioned channel pays its own wire leakage.
+func NoCPowerPhysical(p Params, top *topology.Topology, g *traffic.Graph, tab *route.Table) (PowerReport, error) {
+	if err := p.Validate(); err != nil {
+		return PowerReport{}, err
+	}
+	var rep PowerReport
+	for _, f := range g.Flows() {
+		r := tab.Route(f.ID)
+		if r == nil {
+			return PowerReport{}, errNoRoute(f.ID)
+		}
+		bitsPerSec := f.Bandwidth * 8e6
+		for _, ch := range r.Channels {
+			if !top.ValidChannel(ch) {
+				return PowerReport{}, errBadChannel(f.ID, ch)
+			}
+			perBit := p.EBufWrite + p.EBufRead + p.EXbar + p.EArb +
+				p.ELinkPerMM*p.LinkLengthMM
+			rep.DynamicMW += bitsPerSec * perBit * 1e-9
+		}
+		perBitNI := p.EBufWrite + p.EBufRead + p.EXbar
+		rep.DynamicMW += 2 * bitsPerSec * perBitNI * 1e-9
+	}
+	for _, s := range shapes(top) {
+		ps := physicalShape(s)
+		bufBits := 0
+		for _, v := range ps.InVCs {
+			bufBits += v * p.BufferDepthFlits * p.FlitWidthBits
+		}
+		nIn, nOut := len(ps.InVCs), len(ps.OutVCs)
+		rep.LeakageMW += float64(bufBits) * p.LeakPerBufBit
+		rep.LeakageMW += float64(nIn*nOut*p.FlitWidthBits) * p.LeakPerXbarBit
+		rep.LeakageMW += float64(nIn*nOut) * p.LeakPerArbPort
+	}
+	// Every channel is its own wire bundle.
+	rep.LeakageMW += float64(top.TotalVCs()) * p.LinkLengthMM * p.LeakPerLinkMM *
+		float64(p.FlitWidthBits)
+	rep.TotalMW = rep.DynamicMW + rep.LeakageMW
+	return rep, nil
+}
+
+func errNoRoute(flow int) error {
+	return fmt.Errorf("power: flow %d has no route", flow)
+}
+
+func errBadChannel(flow int, ch topology.Channel) error {
+	return fmt.Errorf("power: flow %d uses unprovisioned channel %v", flow, ch)
+}

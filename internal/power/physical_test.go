@@ -1,0 +1,78 @@
+package power
+
+import (
+	"testing"
+
+	"github.com/nocdr/nocdr/internal/topology"
+)
+
+func TestPhysicalShapeExpansion(t *testing.T) {
+	s := SwitchShape{InVCs: []int{3, 1}, OutVCs: []int{2}}
+	ps := physicalShape(s)
+	if len(ps.InVCs) != 4 || len(ps.OutVCs) != 2 {
+		t.Fatalf("expanded shape = %+v", ps)
+	}
+	for _, v := range append(ps.InVCs, ps.OutVCs...) {
+		if v != 1 {
+			t.Fatal("expanded ports must be single-VC")
+		}
+	}
+}
+
+func TestPhysicalEqualsVirtualAtOneVC(t *testing.T) {
+	// With one VC everywhere the two realizations describe the same
+	// hardware, so the area must match exactly.
+	top, _, _ := smallNoC()
+	p := DefaultParams()
+	virt := NoCArea(p, top)
+	phys := NoCAreaPhysical(p, top)
+	if virt.TotalUM2 != phys.TotalUM2 {
+		t.Errorf("1-VC areas differ: %.0f vs %.0f", virt.TotalUM2, phys.TotalUM2)
+	}
+}
+
+func TestPhysicalChannelsCostMoreThanVCs(t *testing.T) {
+	// The reason the paper prefers VCs when the architecture has them:
+	// the same extra channels cost more area as parallel physical links
+	// (extra crossbar ports and wires) than as VCs (extra buffers only).
+	top, g, tab := smallNoC()
+	top.AddVC(0)
+	top.AddVC(0)
+	top.AddVC(1)
+	p := DefaultParams()
+	virt := NoCArea(p, top)
+	phys := NoCAreaPhysical(p, top)
+	if phys.TotalUM2 <= virt.TotalUM2 {
+		t.Errorf("physical channels (%.0f) not pricier than VCs (%.0f)",
+			phys.TotalUM2, virt.TotalUM2)
+	}
+	vp, err := NoCPower(p, top, g, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := NoCPowerPhysical(p, top, g, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.LeakageMW <= vp.LeakageMW {
+		t.Errorf("physical leakage (%.2f) not above VC leakage (%.2f)",
+			pp.LeakageMW, vp.LeakageMW)
+	}
+	if pp.TotalMW <= 0 {
+		t.Error("non-positive physical power")
+	}
+}
+
+func TestPhysicalPowerErrorPaths(t *testing.T) {
+	top, g, tab := smallNoC()
+	p := DefaultParams()
+	p.FlitWidthBits = 0
+	if _, err := NoCPowerPhysical(p, top, g, tab); err == nil {
+		t.Error("invalid params accepted")
+	}
+	bad := tab.Clone()
+	bad.Set(0, []topology.Channel{topology.Chan(0, 9)})
+	if _, err := NoCPowerPhysical(DefaultParams(), top, g, bad); err == nil {
+		t.Error("unprovisioned channel accepted")
+	}
+}

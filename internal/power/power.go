@@ -1,0 +1,242 @@
+// Package power provides analytic area and power models for NoC switches
+// and links, standing in for the ORION 2.0 models the paper cites ([20]).
+// The constants below describe a generic 65 nm-class implementation with
+// register-file input buffers; they are not calibrated to any foundry.
+// Every experiment in the paper that uses these models is *relative*
+// (resource ordering vs. deadlock removal vs. no removal, all evaluated
+// under the same model), so the comparison shapes survive any monotone
+// recalibration: area and leakage grow with buffered VCs, dynamic power
+// follows traffic.
+//
+// Model structure, mirroring ORION 2.0's decomposition:
+//
+//	switch area  = input buffers + crossbar + VC/switch allocators
+//	switch power = dynamic (per-bit energies × traffic) + leakage (∝ area)
+//	link power   = per-bit·mm wire energy × traffic + wire leakage
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/nocdr/nocdr/internal/route"
+	"github.com/nocdr/nocdr/internal/topology"
+	"github.com/nocdr/nocdr/internal/traffic"
+)
+
+// Params holds the technology and microarchitecture parameters. Use
+// DefaultParams and tweak fields as needed.
+type Params struct {
+	FlitWidthBits    int     // data path width
+	BufferDepthFlits int     // FIFO depth per VC
+	LinkLengthMM     float64 // average physical link length
+
+	// Area constants (µm²).
+	BufBitAreaUM2  float64 // per buffered bit (register + mux overhead)
+	XbarBitAreaUM2 float64 // per crosspoint bit
+	ArbPortAreaUM2 float64 // per arbiter request port
+	PortFixedUM2   float64 // per-port fixed overhead (pipeline regs, ctrl)
+
+	// Dynamic energy constants (pJ/bit).
+	EBufWrite  float64
+	EBufRead   float64
+	EXbar      float64
+	EArb       float64
+	ELinkPerMM float64
+
+	// Leakage constants (mW).
+	LeakPerBufBit  float64
+	LeakPerXbarBit float64
+	LeakPerArbPort float64
+	LeakPerLinkMM  float64
+
+	// VCLoadFactor models the extra buffer mux/clock energy per
+	// additional VC on a port (fraction per VC beyond the first).
+	VCLoadFactor float64
+}
+
+// DefaultParams returns the 65 nm-class defaults used throughout the
+// experiments: 32-bit flits, 8-flit FIFOs, 2 mm links. Buffers dominate
+// switch area (as in ORION's register-file routers), which is what makes
+// the VC count the decisive area lever in the paper's comparison.
+func DefaultParams() Params {
+	return Params{
+		FlitWidthBits:    32,
+		BufferDepthFlits: 8,
+		LinkLengthMM:     2.0,
+
+		BufBitAreaUM2:  34.0,
+		XbarBitAreaUM2: 2.2,
+		ArbPortAreaUM2: 60.0,
+		PortFixedUM2:   450.0,
+
+		EBufWrite:  0.60,
+		EBufRead:   0.52,
+		EXbar:      0.72,
+		EArb:       0.07,
+		ELinkPerMM: 0.90,
+
+		LeakPerBufBit:  0.0019,
+		LeakPerXbarBit: 0.0002,
+		LeakPerArbPort: 0.004,
+		LeakPerLinkMM:  0.012,
+
+		VCLoadFactor: 0.05,
+	}
+}
+
+// Validate rejects nonsensical parameter sets.
+func (p Params) Validate() error {
+	if p.FlitWidthBits < 1 || p.BufferDepthFlits < 1 {
+		return fmt.Errorf("power: flit width %d / buffer depth %d must be >= 1",
+			p.FlitWidthBits, p.BufferDepthFlits)
+	}
+	if p.LinkLengthMM <= 0 {
+		return fmt.Errorf("power: link length %f must be > 0", p.LinkLengthMM)
+	}
+	return nil
+}
+
+// SwitchShape describes one switch as the model sees it: the VC count of
+// every input and output port. Core (NI) ports always carry one VC.
+type SwitchShape struct {
+	ID     topology.SwitchID
+	InVCs  []int // one entry per input port (links, then attached cores)
+	OutVCs []int // one entry per output port (links, then attached cores)
+}
+
+// shapes derives every switch's port/VC shape from the topology.
+func shapes(top *topology.Topology) []SwitchShape {
+	out := make([]SwitchShape, 0, top.NumSwitches())
+	for _, sw := range top.Switches() {
+		s := SwitchShape{ID: sw.ID}
+		for _, lid := range top.InLinks(sw.ID) {
+			s.InVCs = append(s.InVCs, top.Link(lid).VCs)
+		}
+		for _, lid := range top.OutLinks(sw.ID) {
+			s.OutVCs = append(s.OutVCs, top.Link(lid).VCs)
+		}
+		for range top.CoresAt(sw.ID) {
+			s.InVCs = append(s.InVCs, 1)   // injection port
+			s.OutVCs = append(s.OutVCs, 1) // ejection port
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// SwitchAreaUM2 returns the area of one switch in µm².
+func SwitchAreaUM2(p Params, s SwitchShape) float64 {
+	bufBits := 0
+	totalInVCs := 0
+	for _, v := range s.InVCs {
+		bufBits += v * p.BufferDepthFlits * p.FlitWidthBits
+		totalInVCs += v
+	}
+	totalOutVCs := 0
+	for _, v := range s.OutVCs {
+		totalOutVCs += v
+	}
+	nIn, nOut := len(s.InVCs), len(s.OutVCs)
+	area := float64(bufBits) * p.BufBitAreaUM2
+	area += float64(nIn*nOut*p.FlitWidthBits) * p.XbarBitAreaUM2
+	// VC allocator: each output VC arbitrates among all input VCs;
+	// switch allocator: each output port arbitrates among input ports.
+	area += float64(totalOutVCs*totalInVCs) * p.ArbPortAreaUM2 / 8
+	area += float64(nOut*nIn) * p.ArbPortAreaUM2
+	area += float64(nIn+nOut) * p.PortFixedUM2
+	return area
+}
+
+// AreaReport breaks NoC area into switch and link contributions (µm²).
+type AreaReport struct {
+	SwitchUM2 float64
+	TotalUM2  float64
+	PerSwitch []float64
+}
+
+// NoCArea returns the total switch area of the topology. (Wires are not
+// counted as area; they live in routing channels.)
+func NoCArea(p Params, top *topology.Topology) AreaReport {
+	var rep AreaReport
+	for _, s := range shapes(top) {
+		a := SwitchAreaUM2(p, s)
+		rep.PerSwitch = append(rep.PerSwitch, a)
+		rep.SwitchUM2 += a
+	}
+	rep.TotalUM2 = rep.SwitchUM2
+	return rep
+}
+
+// PowerReport breaks NoC power into dynamic and leakage parts (mW).
+type PowerReport struct {
+	DynamicMW float64
+	LeakageMW float64
+	TotalMW   float64
+}
+
+// NoCPower evaluates total NoC power for a routed workload: dynamic power
+// from every flow's bandwidth crossing its route's switches and links,
+// plus leakage proportional to the provisioned hardware. Bandwidths are
+// MB/s.
+func NoCPower(p Params, top *topology.Topology, g *traffic.Graph, tab *route.Table) (PowerReport, error) {
+	if err := p.Validate(); err != nil {
+		return PowerReport{}, err
+	}
+	var rep PowerReport
+
+	// Dynamic: per-hop energy depends mildly on the VC count of the
+	// traversed link's input port (wider buffer muxes).
+	for _, f := range g.Flows() {
+		r := tab.Route(f.ID)
+		if r == nil {
+			return PowerReport{}, fmt.Errorf("power: flow %d has no route", f.ID)
+		}
+		bitsPerSec := f.Bandwidth * 8e6
+		for _, ch := range r.Channels {
+			if !top.ValidChannel(ch) {
+				return PowerReport{}, fmt.Errorf("power: flow %d uses unprovisioned channel %v", f.ID, ch)
+			}
+			vcs := top.Link(ch.Link).VCs
+			bufScale := 1 + p.VCLoadFactor*float64(vcs-1)
+			perBit := (p.EBufWrite+p.EBufRead)*bufScale + p.EXbar + p.EArb +
+				p.ELinkPerMM*p.LinkLengthMM
+			rep.DynamicMW += bitsPerSec * perBit * 1e-9
+		}
+		// Injection and ejection each cross one buffer + crossbar.
+		perBitNI := p.EBufWrite + p.EBufRead + p.EXbar
+		rep.DynamicMW += 2 * bitsPerSec * perBitNI * 1e-9
+	}
+
+	// Leakage: buffers, crossbar, arbiters per switch; wires per link.
+	for _, s := range shapes(top) {
+		bufBits, totalInVCs, totalOutVCs := 0, 0, 0
+		for _, v := range s.InVCs {
+			bufBits += v * p.BufferDepthFlits * p.FlitWidthBits
+			totalInVCs += v
+		}
+		for _, v := range s.OutVCs {
+			totalOutVCs += v
+		}
+		nIn, nOut := len(s.InVCs), len(s.OutVCs)
+		rep.LeakageMW += float64(bufBits) * p.LeakPerBufBit
+		rep.LeakageMW += float64(nIn*nOut*p.FlitWidthBits) * p.LeakPerXbarBit
+		rep.LeakageMW += float64(totalOutVCs*totalInVCs+nIn*nOut) * p.LeakPerArbPort
+	}
+	rep.LeakageMW += float64(top.NumLinks()) * p.LinkLengthMM * p.LeakPerLinkMM *
+		float64(p.FlitWidthBits)
+
+	rep.TotalMW = rep.DynamicMW + rep.LeakageMW
+	return rep, nil
+}
+
+// MM2 converts µm² to mm² for reporting.
+func MM2(um2 float64) float64 { return um2 / 1e6 }
+
+// RelativeOverhead returns (x−base)/base, guarding against a zero base.
+func RelativeOverhead(x, base float64) float64 {
+	if base == 0 {
+		return math.Inf(1)
+	}
+	return (x - base) / base
+}

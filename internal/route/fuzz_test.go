@@ -1,0 +1,48 @@
+package route
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/nocdr/nocdr/internal/topology"
+)
+
+// FuzzRead checks that arbitrary bytes never panic the route-table parser
+// and that accepted tables round-trip.
+func FuzzRead(f *testing.F) {
+	tab := NewTable(2)
+	tab.Set(0, []topology.Channel{topology.Chan(0, 0), topology.Chan(1, 1)})
+	tab.Set(1, nil)
+	var buf bytes.Buffer
+	if err := tab.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"routes":[]}`)
+	f.Add(`{"routes":[{"flow":3,"channels":[{"link":1,"vc":0}]}]}`)
+	f.Add(`][`)
+	f.Fuzz(func(t *testing.T, src string) {
+		got, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := got.Write(&out); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("round trip re-parse failed: %v", err)
+		}
+		if len(again.Routes()) != len(got.Routes()) {
+			t.Fatal("round trip not stable")
+		}
+		for _, r := range got.Routes() {
+			o := again.Route(r.FlowID)
+			if o == nil || o.Len() != r.Len() {
+				t.Fatal("route lost in round trip")
+			}
+		}
+	})
+}

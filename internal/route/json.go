@@ -1,0 +1,87 @@
+package route
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/nocdr/nocdr/internal/topology"
+)
+
+type jsonTable struct {
+	Routes []jsonRoute `json:"routes"`
+}
+
+type jsonRoute struct {
+	Flow     int           `json:"flow"`
+	Channels []jsonChannel `json:"channels"`
+}
+
+type jsonChannel struct {
+	Link int `json:"link"`
+	VC   int `json:"vc"`
+}
+
+// MarshalJSON encodes the set routes in a stable schema. Unset slots are
+// omitted; empty (local) routes are encoded with an empty channel list.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	jt := jsonTable{}
+	for _, r := range t.Routes() {
+		jr := jsonRoute{Flow: r.FlowID, Channels: []jsonChannel{}}
+		for _, ch := range r.Channels {
+			jr.Channels = append(jr.Channels, jsonChannel{Link: int(ch.Link), VC: ch.VC})
+		}
+		jt.Routes = append(jt.Routes, jr)
+	}
+	return json.MarshalIndent(jt, "", "  ")
+}
+
+// UnmarshalJSON decodes the schema produced by MarshalJSON.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var jt jsonTable
+	if err := json.Unmarshal(data, &jt); err != nil {
+		return fmt.Errorf("route: %w", err)
+	}
+	nt := NewTable(0)
+	for _, jr := range jt.Routes {
+		if jr.Flow < 0 {
+			return fmt.Errorf("route: negative flow ID %d", jr.Flow)
+		}
+		if nt.Route(jr.Flow) != nil {
+			return fmt.Errorf("route: duplicate route for flow %d", jr.Flow)
+		}
+		channels := make([]topology.Channel, 0, len(jr.Channels))
+		for _, jc := range jr.Channels {
+			if jc.Link < 0 || jc.VC < 0 {
+				return fmt.Errorf("route: flow %d has negative link/vc", jr.Flow)
+			}
+			channels = append(channels, topology.Chan(topology.LinkID(jc.Link), jc.VC))
+		}
+		nt.Set(jr.Flow, channels)
+	}
+	*t = *nt
+	return nil
+}
+
+// Write serializes the table as JSON to w.
+func (t *Table) Write(w io.Writer) error {
+	data, err := t.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// Read parses a route table from JSON.
+func Read(r io.Reader) (*Table, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("route: %w", err)
+	}
+	t := NewTable(0)
+	if err := t.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,48 @@
+package route
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/nocdr/nocdr/internal/topology"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	tab := NewTable(3)
+	tab.Set(0, []topology.Channel{topology.Chan(0, 0), topology.Chan(1, 2)})
+	tab.Set(1, nil) // local route must survive the round trip
+	tab.Set(2, []topology.Channel{topology.Chan(3, 1)})
+	var buf bytes.Buffer
+	if err := tab.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Routes()) != 3 {
+		t.Fatalf("round trip lost routes: %d", len(got.Routes()))
+	}
+	r0 := got.Route(0)
+	if r0.Len() != 2 || r0.Channels[1] != topology.Chan(1, 2) {
+		t.Errorf("route 0 = %+v", r0)
+	}
+	if got.Route(1) == nil || got.Route(1).Len() != 0 {
+		t.Error("local route lost")
+	}
+}
+
+func TestReadRejectsBadJSON(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"routes":[{"flow":-1,"channels":[]}]}`,
+		`{"routes":[{"flow":0,"channels":[{"link":-1,"vc":0}]}]}`,
+		`{"routes":[{"flow":0,"channels":[]},{"flow":0,"channels":[]}]}`,
+	}
+	for i, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: bad JSON accepted", i)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package route
+
+import (
+	"fmt"
+
+	"github.com/nocdr/nocdr/internal/graph"
+	"github.com/nocdr/nocdr/internal/topology"
+	"github.com/nocdr/nocdr/internal/traffic"
+)
+
+// ShortestPaths computes a deterministic, load-aware static route for
+// every flow of g over topology top. Flows are routed in descending
+// bandwidth order (heavy flows get the straightest paths); each link's
+// cost grows with the bandwidth already committed to it, which spreads
+// traffic the way bandwidth-constrained NoC synthesis flows do. All
+// routes use VC 0 of each link — the deadlock-removal algorithm is what
+// later moves flows onto higher VCs.
+func ShortestPaths(top *topology.Topology, g *traffic.Graph) (*Table, error) {
+	return ShortestPathsWeighted(top, g, nil)
+}
+
+// ShortestPathsWeighted is ShortestPaths with per-link base costs (links
+// absent from base default to 1). Topology synthesis uses this to keep
+// through-traffic on its spanning backbone: backbone links cost 1 and
+// chord links slightly more, so a chord is taken for the pair it directly
+// connects but rarely mid-route — which is what keeps synthesized designs
+// largely free of channel-dependency cycles, like the designs the paper's
+// own synthesis tool produced.
+func ShortestPathsWeighted(top *topology.Topology, g *traffic.Graph, base map[topology.LinkID]float64) (*Table, error) {
+	sg := switchGraph(top)
+	table := NewTable(g.NumFlows())
+	load := make(map[topology.LinkID]float64, top.NumLinks())
+	// Normalizing by total bandwidth keeps the load term a tie-breaker:
+	// hop count dominates, congestion decides among equal-length paths.
+	norm := g.TotalBandwidth()
+	if norm <= 0 {
+		norm = 1
+	}
+	baseCost := func(id topology.LinkID) float64 {
+		if base == nil {
+			return 1
+		}
+		if w, ok := base[id]; ok && w > 0 {
+			return w
+		}
+		return 1
+	}
+	for _, fid := range g.FlowsSortedByBandwidth() {
+		f := g.Flow(fid)
+		srcSw, ok := top.SwitchOf(int(f.Src))
+		if !ok {
+			return nil, fmt.Errorf("route: core %d (flow %d) not attached", f.Src, fid)
+		}
+		dstSw, ok := top.SwitchOf(int(f.Dst))
+		if !ok {
+			return nil, fmt.Errorf("route: core %d (flow %d) not attached", f.Dst, fid)
+		}
+		if srcSw == dstSw {
+			table.Set(fid, nil)
+			continue
+		}
+		w := func(u, v int) float64 {
+			id, ok := top.FindLink(topology.SwitchID(u), topology.SwitchID(v))
+			if !ok {
+				return 1e12 // defensive: switchGraph only has real links
+			}
+			return baseCost(id) + load[id]/norm
+		}
+		path := sg.DijkstraPath(int(srcSw), int(dstSw), w)
+		if path == nil {
+			return nil, fmt.Errorf("route: no path for flow %d from switch %d to %d", fid, srcSw, dstSw)
+		}
+		channels := make([]topology.Channel, 0, len(path)-1)
+		for i := 0; i+1 < len(path); i++ {
+			id, ok := top.FindLink(topology.SwitchID(path[i]), topology.SwitchID(path[i+1]))
+			if !ok {
+				return nil, fmt.Errorf("route: path uses missing link %d→%d", path[i], path[i+1])
+			}
+			channels = append(channels, topology.Chan(id, 0))
+			load[id] += f.Bandwidth
+		}
+		table.Set(fid, channels)
+	}
+	return table, nil
+}
+
+// switchGraph projects the topology onto the generic digraph kernel.
+func switchGraph(top *topology.Topology) *graph.Digraph {
+	sg := graph.New(top.NumSwitches())
+	if n := top.NumSwitches(); n > 0 {
+		sg.Ensure(n - 1)
+	}
+	for _, l := range top.Links() {
+		sg.AddEdge(int(l.From), int(l.To))
+	}
+	return sg
+}
+
+// Connected reports whether every flow of g can be routed on top at all
+// (ignoring VCs); useful before attempting synthesis repairs.
+func Connected(top *topology.Topology, g *traffic.Graph) bool {
+	sg := switchGraph(top)
+	for _, f := range g.Flows() {
+		srcSw, ok1 := top.SwitchOf(int(f.Src))
+		dstSw, ok2 := top.SwitchOf(int(f.Dst))
+		if !ok1 || !ok2 {
+			return false
+		}
+		if srcSw == dstSw {
+			continue
+		}
+		if !sg.Reachable(int(srcSw), int(dstSw)) {
+			return false
+		}
+	}
+	return true
+}

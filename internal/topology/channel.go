@@ -1,0 +1,54 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Channel identifies one virtual channel on one physical link — the
+// resource unit of Definition 3 and the vertex type of the channel
+// dependency graph (Definition 4).
+type Channel struct {
+	Link LinkID
+	VC   int
+}
+
+// Chan is shorthand for constructing a Channel.
+func Chan(link LinkID, vc int) Channel { return Channel{Link: link, VC: vc} }
+
+// Valid reports whether c names a provisioned channel of t.
+func (t *Topology) ValidChannel(c Channel) bool {
+	return t.ValidLink(c.Link) && c.VC >= 0 && c.VC < t.links[c.Link].VCs
+}
+
+// Channels enumerates every provisioned channel in (link, VC) order.
+func (t *Topology) Channels() []Channel {
+	out := make([]Channel, 0, t.TotalVCs())
+	for _, l := range t.links {
+		for vc := 0; vc < l.VCs; vc++ {
+			out = append(out, Channel{Link: l.ID, VC: vc})
+		}
+	}
+	return out
+}
+
+// ChannelName renders a channel in the paper's notation: the base VC of
+// link Lk prints as "Lk", the first duplicate as "Lk'", the second as
+// "Lk”", and higher VC indices as "Lk'n".
+func (t *Topology) ChannelName(c Channel) string {
+	base := fmt.Sprintf("L%d", c.Link+1)
+	switch {
+	case c.VC <= 0:
+		return base
+	case c.VC <= 2:
+		return base + strings.Repeat("'", c.VC)
+	default:
+		return fmt.Sprintf("%s'%d", base, c.VC)
+	}
+}
+
+// ChannelEndpoints returns the switches a channel connects.
+func (t *Topology) ChannelEndpoints(c Channel) (from, to SwitchID) {
+	l := t.Link(c.Link)
+	return l.From, l.To
+}

@@ -1,0 +1,37 @@
+package topology
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the topology in Graphviz DOT format. Links with more
+// than one VC are labelled "xN"; core attachments appear as small boxes.
+// The output is deterministic.
+func (t *Topology) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	name := t.Name
+	if name == "" {
+		name = "topology"
+	}
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=circle];\n", name)
+	for _, s := range t.switches {
+		fmt.Fprintf(&b, "  s%d [label=%q];\n", s.ID, s.Name)
+	}
+	for _, l := range t.links {
+		if l.VCs > 1 {
+			fmt.Fprintf(&b, "  s%d -> s%d [label=\"L%d x%d\"];\n", l.From, l.To, l.ID+1, l.VCs)
+		} else {
+			fmt.Fprintf(&b, "  s%d -> s%d [label=\"L%d\"];\n", l.From, l.To, l.ID+1)
+		}
+	}
+	for _, c := range t.Cores() {
+		sw := t.coreAttach[c]
+		fmt.Fprintf(&b, "  c%d [shape=box, label=\"core%d\"];\n", c, c)
+		fmt.Fprintf(&b, "  c%d -> s%d [dir=both, style=dashed];\n", c, sw)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

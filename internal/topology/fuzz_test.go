@@ -1,0 +1,48 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks that arbitrary bytes never panic the topology parser
+// and that anything it accepts is valid and round-trips losslessly.
+func FuzzRead(f *testing.F) {
+	tp := New("seed")
+	a := tp.AddSwitch("")
+	b := tp.AddSwitch("")
+	tp.MustAddLink(a, b)
+	tp.AddVC(0)
+	tp.AttachCore(0, a)
+	var buf bytes.Buffer
+	if err := tp.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"name":"x","switches":[],"links":[]}`)
+	f.Add(`{"name":"x","switches":[{"id":0,"name":"a"}],"links":[{"id":0,"from":0,"to":0,"vcs":1}]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"switches":[{"id":9}]}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		got, err := Read(strings.NewReader(src))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("accepted topology fails Validate: %v\ninput: %q", err, src)
+		}
+		var out bytes.Buffer
+		if err := got.Write(&out); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("round trip re-parse failed: %v", err)
+		}
+		if again.NumSwitches() != got.NumSwitches() || again.NumLinks() != got.NumLinks() ||
+			again.TotalVCs() != got.TotalVCs() {
+			t.Fatal("round trip not stable")
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package traffic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks that arbitrary bytes never panic the traffic parser and
+// that anything it accepts validates and round-trips.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	if err := D26Media().Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"name":"x","cores":[],"flows":[]}`)
+	f.Add(`{"name":"x","cores":[{"id":0,"name":"a"}],"flows":[{"id":0,"src":0,"dst":0,"bandwidth":1}]}`)
+	f.Add(`garbage`)
+	f.Fuzz(func(t *testing.T, src string) {
+		got, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("accepted graph fails Validate: %v\ninput: %q", err, src)
+		}
+		var out bytes.Buffer
+		if err := got.Write(&out); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("round trip re-parse failed: %v", err)
+		}
+		if again.NumCores() != got.NumCores() || again.NumFlows() != got.NumFlows() {
+			t.Fatal("round trip not stable")
+		}
+	})
+}

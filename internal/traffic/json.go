@@ -1,0 +1,99 @@
+package traffic
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+type jsonGraph struct {
+	Name  string     `json:"name"`
+	Cores []jsonCore `json:"cores"`
+	Flows []jsonFlow `json:"flows"`
+}
+
+type jsonCore struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+}
+
+type jsonFlow struct {
+	ID          int     `json:"id"`
+	Src         int     `json:"src"`
+	Dst         int     `json:"dst"`
+	Bandwidth   float64 `json:"bandwidth"`
+	PacketFlits int     `json:"packet_flits,omitempty"`
+}
+
+// MarshalJSON encodes the communication graph in a stable schema.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.Name}
+	for _, c := range g.cores {
+		jg.Cores = append(jg.Cores, jsonCore{ID: int(c.ID), Name: c.Name})
+	}
+	for _, f := range g.flows {
+		jg.Flows = append(jg.Flows, jsonFlow{
+			ID: f.ID, Src: int(f.Src), Dst: int(f.Dst),
+			Bandwidth: f.Bandwidth, PacketFlits: f.PacketFlits,
+		})
+	}
+	return json.MarshalIndent(jg, "", "  ")
+}
+
+// UnmarshalJSON decodes the schema produced by MarshalJSON. IDs must be
+// dense and ordered.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("traffic: %w", err)
+	}
+	ng := NewGraph(jg.Name)
+	for i, c := range jg.Cores {
+		if c.ID != i {
+			return fmt.Errorf("traffic: core IDs must be dense, got %d at position %d", c.ID, i)
+		}
+		ng.AddCore(c.Name)
+	}
+	for i, f := range jg.Flows {
+		if f.ID != i {
+			return fmt.Errorf("traffic: flow IDs must be dense, got %d at position %d", f.ID, i)
+		}
+		id, err := ng.AddFlow(CoreID(f.Src), CoreID(f.Dst), f.Bandwidth)
+		if err != nil {
+			return err
+		}
+		if f.PacketFlits > 0 {
+			if err := ng.SetPacketFlits(id, f.PacketFlits); err != nil {
+				return err
+			}
+		}
+	}
+	*g = *ng
+	return nil
+}
+
+// Write serializes the graph as JSON to w.
+func (g *Graph) Write(w io.Writer) error {
+	data, err := g.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// Read parses a communication graph from JSON and validates it.
+func Read(r io.Reader) (*Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("traffic: %w", err)
+	}
+	g := NewGraph("")
+	if err := g.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

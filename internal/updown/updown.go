@@ -1,0 +1,181 @@
+// Package updown implements up*/down* routing, the turn-prohibition
+// family the paper discusses as related work ([17], [18] and the
+// synthesis-integrated uses [5], [9]): orient every link up (toward a
+// BFS root) or down, and allow only routes that never take an up-link
+// after a down-link. The rule makes any topology deadlock-free without
+// adding a single VC — but it restricts paths (routes inflate and hot-
+// spot around the root) and, as the paper points out, it needs
+// bidirectional connectivity: on topologies with one-way links some
+// flows simply cannot be routed, which is exactly why the paper's
+// VC-insertion method exists.
+package updown
+
+import (
+	"fmt"
+
+	"github.com/nocdr/nocdr/internal/route"
+	"github.com/nocdr/nocdr/internal/topology"
+	"github.com/nocdr/nocdr/internal/traffic"
+)
+
+// Result is the outcome of up*/down* routing.
+type Result struct {
+	Routes *route.Table
+	Root   topology.SwitchID
+	// Unroutable lists flows that have no legal up*/down* path (possible
+	// on topologies with unidirectional links). Routes is complete only
+	// when this is empty; Apply returns an error but still reports the
+	// list here for diagnostics.
+	Unroutable []int
+}
+
+// Apply computes up*/down* routes for every flow. The root is the
+// highest-degree switch (ties to the lowest ID), the classical choice.
+// It fails if any flow has no legal path.
+func Apply(top *topology.Topology, g *traffic.Graph) (*Result, error) {
+	if top.NumSwitches() == 0 {
+		return nil, fmt.Errorf("updown: empty topology")
+	}
+	root := pickRoot(top)
+	level := bfsLevels(top, root)
+	res := &Result{
+		Routes: route.NewTable(g.NumFlows()),
+		Root:   root,
+	}
+	for _, f := range g.Flows() {
+		srcSw, ok := top.SwitchOf(int(f.Src))
+		if !ok {
+			return nil, fmt.Errorf("updown: core %d not attached", f.Src)
+		}
+		dstSw, ok := top.SwitchOf(int(f.Dst))
+		if !ok {
+			return nil, fmt.Errorf("updown: core %d not attached", f.Dst)
+		}
+		if srcSw == dstSw {
+			res.Routes.Set(f.ID, nil)
+			continue
+		}
+		channels := legalPath(top, level, srcSw, dstSw)
+		if channels == nil {
+			res.Unroutable = append(res.Unroutable, f.ID)
+			continue
+		}
+		res.Routes.Set(f.ID, channels)
+	}
+	if len(res.Unroutable) > 0 {
+		return res, fmt.Errorf("updown: %d flow(s) unroutable under up*/down* (topology has one-way links?): %v",
+			len(res.Unroutable), res.Unroutable)
+	}
+	return res, nil
+}
+
+// pickRoot returns the switch with the most links (ties to lowest ID).
+func pickRoot(top *topology.Topology) topology.SwitchID {
+	best := topology.SwitchID(0)
+	bestDeg := -1
+	for _, sw := range top.Switches() {
+		if d := top.Degree(sw.ID); d > bestDeg {
+			best = sw.ID
+			bestDeg = d
+		}
+	}
+	return best
+}
+
+// bfsLevels returns each switch's BFS distance from the root over the
+// undirected link structure (unreached switches get level -1).
+func bfsLevels(top *topology.Topology, root topology.SwitchID) []int {
+	level := make([]int, top.NumSwitches())
+	for i := range level {
+		level[i] = -1
+	}
+	level[root] = 0
+	queue := []topology.SwitchID{root}
+	for qi := 0; qi < len(queue); qi++ {
+		sw := queue[qi]
+		visit := func(other topology.SwitchID) {
+			if level[other] == -1 {
+				level[other] = level[sw] + 1
+				queue = append(queue, other)
+			}
+		}
+		for _, lid := range top.OutLinks(sw) {
+			visit(top.Link(lid).To)
+		}
+		for _, lid := range top.InLinks(sw) {
+			visit(top.Link(lid).From)
+		}
+	}
+	return level
+}
+
+// isUp reports whether traversing link l is an "up" move: toward a
+// strictly lower BFS level, with level ties broken by switch ID (the
+// standard total order that makes the orientation acyclic).
+func isUp(l topology.Link, level []int) bool {
+	lf, lt := level[l.From], level[l.To]
+	if lf != lt {
+		return lt < lf
+	}
+	return l.To < l.From
+}
+
+// legalPath returns the shortest up*-then-down* channel path from src to
+// dst, or nil if none exists. It searches the phase-augmented graph
+// (switch, stillClimbing) by BFS, preferring lower link IDs for
+// determinism.
+func legalPath(top *topology.Topology, level []int, src, dst topology.SwitchID) []topology.Channel {
+	const (
+		phaseUp   = 0
+		phaseDown = 1
+	)
+	n := top.NumSwitches()
+	type state struct {
+		sw    topology.SwitchID
+		phase int
+	}
+	parent := make(map[state]state, 2*n)
+	via := make(map[state]topology.LinkID, 2*n)
+	start := state{sw: src, phase: phaseUp}
+	parent[start] = state{sw: -1}
+	queue := []state{start}
+	var goal *state
+	for qi := 0; qi < len(queue) && goal == nil; qi++ {
+		cur := queue[qi]
+		for _, lid := range top.OutLinks(cur.sw) {
+			l := top.Link(lid)
+			next := state{sw: l.To}
+			if isUp(l, level) {
+				if cur.phase == phaseDown {
+					continue // down→up turn prohibited
+				}
+				next.phase = phaseUp
+			} else {
+				next.phase = phaseDown
+			}
+			if _, seen := parent[next]; seen {
+				continue
+			}
+			parent[next] = cur
+			via[next] = lid
+			if next.sw == dst {
+				g := next
+				goal = &g
+				break
+			}
+			queue = append(queue, next)
+		}
+	}
+	if goal == nil {
+		return nil
+	}
+	var rev []topology.Channel
+	for s := *goal; parent[s].sw != -1; s = parent[s] {
+		rev = append(rev, topology.Chan(via[s], 0))
+	}
+	out := make([]topology.Channel, len(rev))
+	for i, c := range rev {
+		out[len(rev)-1-i] = c
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package updown
+
+import (
+	"testing"
+
+	"github.com/nocdr/nocdr/internal/cdg"
+	"github.com/nocdr/nocdr/internal/regular"
+	"github.com/nocdr/nocdr/internal/route"
+	"github.com/nocdr/nocdr/internal/synth"
+	"github.com/nocdr/nocdr/internal/topology"
+	"github.com/nocdr/nocdr/internal/traffic"
+)
+
+func TestUpDownOnMeshIsDeadlockFree(t *testing.T) {
+	g, err := regular.Mesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := traffic.RandomKOut("m", 16, 4, 3)
+	res, err := Apply(g.Topology, tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Routes.Validate(g.Topology, tg); err != nil {
+		t.Fatal(err)
+	}
+	c, err := cdg.Build(g.Topology, res.Routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Acyclic() {
+		t.Error("up*/down* produced a cyclic CDG on a mesh")
+	}
+}
+
+func TestUpDownOnTorusIsDeadlockFree(t *testing.T) {
+	// The same torus whose DOR routes deadlock: up*/down* avoids the
+	// cycles without VCs, at the cost of longer routes.
+	g, err := regular.Torus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := regular.UniformTraffic(16, 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Apply(g.Topology, tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cdg.Build(g.Topology, res.Routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Acyclic() {
+		t.Error("up*/down* produced a cyclic CDG on a torus")
+	}
+}
+
+func TestUpDownOnSynthesizedBenchmarks(t *testing.T) {
+	// Synthesized topologies are bidirectional, so up*/down* must route
+	// everything deadlock-free; its routes may be longer than shortest.
+	for _, name := range []string{"D26_media", "D36_8"} {
+		tg, err := traffic.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		des, err := synth.Synthesize(tg, synth.Options{SwitchCount: 14})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Apply(des.Topology, tg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := res.Routes.Validate(des.Topology, tg); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		c, err := cdg.Build(des.Topology, res.Routes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Acyclic() {
+			t.Errorf("%s: cyclic CDG under up*/down*", name)
+		}
+		if res.Routes.AvgLen() < des.Routes.AvgLen() {
+			t.Errorf("%s: up*/down* routes shorter than shortest paths (%.2f < %.2f)",
+				name, res.Routes.AvgLen(), des.Routes.AvgLen())
+		}
+	}
+}
+
+func TestUpDownFailsOnUnidirectionalRing(t *testing.T) {
+	// The paper's critique of [18]: turn prohibition needs bidirectional
+	// links. On a one-way ring a two-hop flow crossing the dateline must
+	// make a down→up turn, and there is no alternative path to detour to.
+	g, err := regular.Ring(4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := regular.UniformTraffic(4, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Apply(g.Topology, tg)
+	if err == nil {
+		t.Fatal("up*/down* routed a unidirectional ring; some flow must be unroutable")
+	}
+	if res == nil || len(res.Unroutable) == 0 {
+		t.Error("error without diagnostics")
+	}
+}
+
+func TestUpDownRootChoice(t *testing.T) {
+	top := topology.New("t")
+	a := top.AddSwitch("")
+	b := top.AddSwitch("")
+	c := top.AddSwitch("")
+	top.AddBidi(a, b)
+	top.AddBidi(b, c)
+	if root := pickRoot(top); root != b {
+		t.Errorf("root = %d, want hub switch %d", root, b)
+	}
+}
+
+func TestUpDownLocalFlows(t *testing.T) {
+	top := topology.New("t")
+	sw := top.AddSwitch("")
+	top.AddSwitch("")
+	top.AttachCore(0, sw)
+	top.AttachCore(1, sw)
+	tg := traffic.NewGraph("t")
+	tg.AddCore("")
+	tg.AddCore("")
+	tg.MustAddFlow(0, 1, 5)
+	res, err := Apply(top, tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Routes.Route(0).Len() != 0 {
+		t.Error("same-switch flow got a route")
+	}
+}
+
+func TestUpDownUnattachedCore(t *testing.T) {
+	top := topology.New("t")
+	top.AddSwitch("")
+	tg := traffic.NewGraph("t")
+	tg.AddCore("")
+	tg.AddCore("")
+	tg.MustAddFlow(0, 1, 5)
+	if _, err := Apply(top, tg); err == nil {
+		t.Error("unattached core accepted")
+	}
+}
+
+// TestNoDownUpTurns verifies the defining invariant on every route.
+func TestNoDownUpTurns(t *testing.T) {
+	tg, err := traffic.ByName("D36_6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	des, err := synth.Synthesize(tg, synth.Options{SwitchCount: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Apply(des.Topology, tg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	level := bfsLevels(des.Topology, res.Root)
+	checkRoutes(t, des.Topology, res.Routes, level)
+}
+
+func checkRoutes(t *testing.T, top *topology.Topology, tab *route.Table, level []int) {
+	t.Helper()
+	for _, r := range tab.Routes() {
+		wentDown := false
+		for _, ch := range r.Channels {
+			l := top.Link(ch.Link)
+			if isUp(l, level) {
+				if wentDown {
+					t.Fatalf("flow %d makes a down→up turn", r.FlowID)
+				}
+			} else {
+				wentDown = true
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package wormhole
+
+import "sort"
+
+// confirmDeadlock builds the packet wait-for graph at the current cycle
+// and returns the packet IDs on a cyclic wait, ascending. It is called
+// after the progress watchdog fires; during a genuine global stall every
+// in-flight packet's frontier is blocked on a channel held by another
+// packet, so the graph must contain a cycle.
+//
+// Wait edges: packet P → packet Q when P's next transmission needs a
+// channel currently owned by Q. Two blocking causes produce an edge:
+//
+//   - acquisition: P's head flit wants channel c with owner Q ≠ P;
+//   - back-pressure: P's flit wants channel c owned by P itself but the
+//     buffer is full — the stall then propagates along P's own worm to
+//     P's head, which is covered by the first case, so self-edges are
+//     skipped.
+func (s *Simulator) confirmDeadlock() []int {
+	wait := make(map[int][]int) // packet → packets it waits on
+
+	addEdge := func(p, q int) {
+		if p == q {
+			return
+		}
+		wait[p] = append(wait[p], q)
+	}
+
+	// Blocked buffer fronts.
+	for ci := range s.chans {
+		cs := &s.chans[ci]
+		if len(cs.buf) == 0 {
+			continue
+		}
+		front := cs.buf[0]
+		p := s.packets[front.pkt]
+		if p == nil {
+			continue
+		}
+		rt := s.flows[p.flow].routeCh
+		hop := cs.hop[p.flow]
+		if hop == len(rt)-1 {
+			continue // ejection always possible: not blocked
+		}
+		next := &s.chans[s.idx[rt[hop+1]]]
+		if next.owner != -1 && next.owner != front.pkt {
+			addEdge(front.pkt, next.owner)
+		}
+	}
+	// Blocked injections (the queued packet holds nothing yet, but its
+	// wait still participates in the graph; it can never be part of a
+	// cycle because nothing waits on it).
+	for i := range s.flows {
+		fs := &s.flows[i]
+		if len(fs.queue) == 0 {
+			continue
+		}
+		first := &s.chans[s.idx[fs.routeCh[0]]]
+		if first.owner != -1 && first.owner != fs.queue[0].id {
+			addEdge(fs.queue[0].id, first.owner)
+		}
+	}
+
+	// Find a cycle with an iterative DFS.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := make(map[int]int, len(wait))
+	parent := make(map[int]int, len(wait))
+	var cycleAt int = -1
+	var cycleEnd int
+	var dfs func(v int) bool
+	dfs = func(v int) bool {
+		colour[v] = grey
+		for _, w := range wait[v] {
+			switch colour[w] {
+			case grey:
+				cycleAt, cycleEnd = w, v
+				return true
+			case white:
+				parent[w] = v
+				if dfs(w) {
+					return true
+				}
+			}
+		}
+		colour[v] = black
+		return false
+	}
+	starts := make([]int, 0, len(wait))
+	for p := range wait {
+		starts = append(starts, p)
+	}
+	sort.Ints(starts)
+	for _, p := range starts {
+		if colour[p] == white {
+			if dfs(p) {
+				break
+			}
+		}
+	}
+	if cycleAt == -1 {
+		return nil
+	}
+	var cyc []int
+	for v := cycleEnd; ; v = parent[v] {
+		cyc = append(cyc, v)
+		if v == cycleAt {
+			break
+		}
+	}
+	sort.Ints(cyc)
+	return cyc
+}
+
+// HeldChannels returns the channels currently owned by the given packet,
+// in route order. Useful for diagnostics and tests.
+func (s *Simulator) HeldChannels(pkt int) []int {
+	var out []int
+	for ci := range s.chans {
+		if s.chans[ci].owner == pkt {
+			out = append(out, ci)
+		}
+	}
+	return out
+}

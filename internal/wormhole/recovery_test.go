@@ -1,0 +1,166 @@
+package wormhole
+
+import (
+	"testing"
+
+	"github.com/nocdr/nocdr/internal/core"
+)
+
+func TestRecoveryResolvesRingDeadlock(t *testing.T) {
+	top, g, tab := ringExample()
+	sim, err := New(top, g, tab, Config{
+		MaxCycles:  50000,
+		LoadFactor: 1.0,
+		Seed:       7,
+		Recovery:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deadlocked {
+		t.Fatalf("recovery enabled but run still reports deadlock: %+v", st)
+	}
+	if st.Recoveries == 0 {
+		t.Fatal("saturated cyclic ring triggered no recoveries")
+	}
+	if st.RecoveredPackets == 0 {
+		t.Error("no packets delivered through the recovery lane")
+	}
+	if st.DeliveredPackets <= st.RecoveredPackets {
+		t.Error("normal network delivered nothing; recovery should be the exception path")
+	}
+}
+
+func TestRecoveryIdleOnDeadlockFreeDesign(t *testing.T) {
+	top, g, tab := ringExample()
+	res, err := core.Remove(top, tab, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(res.Topology, g, res.Routes, Config{
+		MaxCycles:  20000,
+		LoadFactor: 1.0,
+		Seed:       7,
+		Recovery:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Recoveries != 0 {
+		t.Errorf("deadlock-free design triggered %d recoveries", st.Recoveries)
+	}
+}
+
+func TestRecoveryVsRemovalThroughput(t *testing.T) {
+	// The paper's design-time method should beat runtime recovery on the
+	// same workload: recovery stalls the whole network for every token
+	// cycle, removal never stalls at all.
+	top, g, tab := ringExample()
+
+	rec, err := New(top, g, tab, Config{
+		MaxCycles: 50000, LoadFactor: 1.0, Seed: 7, Recovery: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recSt, err := rec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := core.Remove(top, tab, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := New(res.Topology, g, res.Routes, Config{
+		MaxCycles: 50000, LoadFactor: 1.0, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmSt, err := rm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rmSt.DeliveredFlits <= recSt.DeliveredFlits {
+		t.Errorf("removal delivered %d flits, recovery %d: design-time fix should win",
+			rmSt.DeliveredFlits, recSt.DeliveredFlits)
+	}
+}
+
+func TestRecoveryDeterministic(t *testing.T) {
+	run := func() Stats {
+		top, g, tab := ringExample()
+		sim, err := New(top, g, tab, Config{
+			MaxCycles: 20000, LoadFactor: 1.0, Seed: 9, Recovery: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return *st
+	}
+	a, b := run(), run()
+	if a.Recoveries != b.Recoveries || a.DeliveredPackets != b.DeliveredPackets {
+		t.Errorf("nondeterministic recovery: %d/%d recoveries, %d/%d delivered",
+			a.Recoveries, b.Recoveries, a.DeliveredPackets, b.DeliveredPackets)
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	top, g, tab := ringExample()
+	res, err := core.Remove(top, tab, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(res.Topology, g, res.Routes, Config{
+		MaxCycles:        20000,
+		LoadFactor:       0.3,
+		Seed:             7,
+		CollectLatencies: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(st.Latencies)) != st.LatencyCount {
+		t.Fatalf("collected %d latencies, counted %d", len(st.Latencies), st.LatencyCount)
+	}
+	p0 := st.LatencyPercentile(0)
+	p50 := st.LatencyPercentile(50)
+	p100 := st.LatencyPercentile(100)
+	if p0 > p50 || p50 > p100 {
+		t.Errorf("percentiles not monotone: %d %d %d", p0, p50, p100)
+	}
+	if p100 != st.LatencyMax {
+		t.Errorf("p100 = %d, max = %d", p100, st.LatencyMax)
+	}
+	// Sorted ascending?
+	for i := 1; i < len(st.Latencies); i++ {
+		if st.Latencies[i] < st.Latencies[i-1] {
+			t.Fatal("latencies not sorted")
+		}
+	}
+}
+
+func TestLatencyPercentileEmpty(t *testing.T) {
+	var st Stats
+	if st.LatencyPercentile(50) != 0 {
+		t.Error("empty percentile not 0")
+	}
+}

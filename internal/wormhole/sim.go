@@ -1,0 +1,425 @@
+package wormhole
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/nocdr/nocdr/internal/route"
+	"github.com/nocdr/nocdr/internal/topology"
+	"github.com/nocdr/nocdr/internal/traffic"
+)
+
+// packet is one in-flight wormhole packet.
+type packet struct {
+	id      int
+	flow    int
+	flits   int // total length
+	created int64
+
+	injected int // flits that have left the source queue (0..flits)
+	ejected  int // flits that have left the network at the destination
+}
+
+// chanState is the runtime state of one channel: its downstream FIFO and
+// owning packet. Invariant: the buffer holds only the owner's flits, and
+// owner == -1 exactly when the buffer is empty and no worm spans the
+// channel.
+type chanState struct {
+	ch    topology.Channel
+	hop   map[int]int // flowID → hop index of this channel in the flow's route
+	buf   []flitRef
+	owner int // packet ID, -1 if free
+}
+
+type flitRef struct {
+	pkt    int
+	isHead bool
+	isTail bool
+}
+
+// flowState tracks a flow's injection side.
+type flowState struct {
+	id      int
+	routeCh []topology.Channel
+	prob    float64 // per-cycle packet creation probability
+	queue   []*packet
+	created int // packets created so far (for PacketsPerFlow budgeting)
+}
+
+// Simulator runs a wormhole NoC. Create with New, advance with Step or
+// Run. A Simulator is single-goroutine; wrap it if you need concurrency.
+type Simulator struct {
+	cfg     Config
+	top     *topology.Topology
+	g       *traffic.Graph
+	tab     *route.Table
+	rng     *rand.Rand
+	idx     map[topology.Channel]int
+	chans   []chanState
+	linkRR  map[topology.LinkID]int
+	flows   []flowState
+	packets map[int]*packet
+	nextPkt int
+
+	now          int64
+	lastProgress int64
+	stats        Stats
+	rec          *recovery // in-flight DISHA-style recovery, if any
+}
+
+// New builds a simulator for a routed workload. Every flow must have a
+// route whose channels are provisioned in the topology.
+func New(top *topology.Topology, g *traffic.Graph, tab *route.Table, cfg Config) (*Simulator, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:     cfg,
+		top:     top,
+		g:       g,
+		tab:     tab,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		idx:     make(map[topology.Channel]int),
+		linkRR:  make(map[topology.LinkID]int),
+		packets: make(map[int]*packet),
+	}
+	for i, ch := range top.Channels() {
+		s.idx[ch] = i
+		s.chans = append(s.chans, chanState{ch: ch, hop: map[int]int{}, owner: -1})
+	}
+
+	s.stats.PerFlow = make([]FlowStats, g.NumFlows())
+	maxBW := 0.0
+	for _, f := range g.Flows() {
+		if f.Bandwidth > maxBW {
+			maxBW = f.Bandwidth
+		}
+	}
+	if maxBW == 0 {
+		maxBW = 1
+	}
+	for _, f := range g.Flows() {
+		r := tab.Route(f.ID)
+		if r == nil {
+			return nil, fmt.Errorf("wormhole: flow %d has no route", f.ID)
+		}
+		fs := flowState{
+			id:      f.ID,
+			routeCh: r.Channels,
+			prob:    cfg.LoadFactor * f.Bandwidth / maxBW,
+		}
+		for hopIdx, ch := range r.Channels {
+			ci, ok := s.idx[ch]
+			if !ok {
+				return nil, fmt.Errorf("wormhole: flow %d uses unprovisioned channel %v", f.ID, ch)
+			}
+			if _, dup := s.chans[ci].hop[f.ID]; dup {
+				return nil, fmt.Errorf("wormhole: flow %d visits channel %v twice", f.ID, ch)
+			}
+			s.chans[ci].hop[f.ID] = hopIdx
+		}
+		s.flows = append(s.flows, fs)
+	}
+	return s, nil
+}
+
+// Now returns the current simulation cycle.
+func (s *Simulator) Now() int64 { return s.now }
+
+// Stats returns a snapshot of the statistics so far.
+func (s *Simulator) Stats() Stats {
+	st := s.stats
+	st.Cycles = s.now
+	return st
+}
+
+// move describes one flit transmission decided this cycle.
+type move struct {
+	// src: source buffer channel index, or -1 for injection from flow fl.
+	src int
+	fl  int
+	// dst: destination channel index, or -1 for ejection.
+	dst int
+}
+
+// Step advances the simulation by one cycle and reports whether anything
+// moved. The order within a cycle is: recovery completion, packet
+// creation, move arbitration against start-of-cycle state, move
+// application, progress bookkeeping.
+func (s *Simulator) Step() bool {
+	s.stepRecovery()
+	s.createPackets()
+	moves := s.arbitrate()
+	for _, m := range moves {
+		s.apply(m)
+	}
+	progressed := len(moves) > 0
+	if progressed || !s.flitsInFlight() || s.rec != nil {
+		// An in-flight recovery counts as progress: its lane delivers
+		// flits the normal switch fabric cannot see.
+		s.lastProgress = s.now
+	}
+	s.now++
+	return progressed
+}
+
+// createPackets draws new packets for each flow per the injection process.
+func (s *Simulator) createPackets() {
+	for i := range s.flows {
+		fs := &s.flows[i]
+		if s.cfg.PacketsPerFlow > 0 {
+			// Drain mode: deterministic injection that keeps the source
+			// queue primed until the budget is spent.
+			if fs.created >= s.cfg.PacketsPerFlow || len(fs.queue) >= 2 {
+				continue
+			}
+		} else if s.rng.Float64() >= fs.prob {
+			continue
+		}
+		f := s.g.Flow(fs.id)
+		p := &packet{
+			id:      s.nextPkt,
+			flow:    fs.id,
+			flits:   f.PacketFlits,
+			created: s.now,
+		}
+		s.nextPkt++
+		fs.created++
+		s.stats.PerFlow[fs.id].Injected++
+		if len(fs.routeCh) == 0 {
+			// Local (same-switch) delivery bypasses the fabric.
+			s.stats.LocalPackets++
+			s.recordDelivery(p)
+			continue
+		}
+		s.packets[p.id] = p
+		fs.queue = append(fs.queue, p)
+		s.stats.InjectedPackets++
+	}
+}
+
+// arbitrate collects at most one move per physical link plus unlimited
+// ejections, all judged against start-of-cycle state.
+func (s *Simulator) arbitrate() []move {
+	var moves []move
+	// Ejections first: final-hop buffers always drain one flit.
+	for ci := range s.chans {
+		cs := &s.chans[ci]
+		if len(cs.buf) == 0 {
+			continue
+		}
+		front := cs.buf[0]
+		p := s.packets[front.pkt]
+		hop := cs.hop[p.flow]
+		if hop == len(s.flows[p.flow].routeCh)-1 {
+			moves = append(moves, move{src: ci, fl: p.flow, dst: -1})
+		}
+	}
+
+	// Link transfers: gather candidates per link, pick one round-robin.
+	byLink := make(map[topology.LinkID][]cand)
+	// Buffer-to-buffer candidates.
+	for ci := range s.chans {
+		cs := &s.chans[ci]
+		if len(cs.buf) == 0 {
+			continue
+		}
+		front := cs.buf[0]
+		p := s.packets[front.pkt]
+		rt := s.flows[p.flow].routeCh
+		hop := cs.hop[p.flow]
+		if hop == len(rt)-1 {
+			continue // ejection, handled above
+		}
+		next := rt[hop+1]
+		ni := s.idx[next]
+		if !s.admissible(ni, front) {
+			continue
+		}
+		byLink[next.Link] = append(byLink[next.Link], cand{
+			m:   move{src: ci, fl: p.flow, dst: ni},
+			key: next.VC*2 + 0,
+		})
+	}
+	// Injection candidates.
+	for i := range s.flows {
+		fs := &s.flows[i]
+		if len(fs.queue) == 0 {
+			continue
+		}
+		p := fs.queue[0]
+		first := fs.routeCh[0]
+		ni := s.idx[first]
+		fr := flitRef{pkt: p.id, isHead: p.injected == 0, isTail: p.injected == p.flits-1}
+		if !s.admissible(ni, fr) {
+			continue
+		}
+		byLink[first.Link] = append(byLink[first.Link], cand{
+			m:   move{src: -1, fl: fs.id, dst: ni},
+			key: first.VC*2 + 1,
+		})
+	}
+	// Iterate links in ID order so the cycle outcome is independent of
+	// map iteration order.
+	links := make([]topology.LinkID, 0, len(byLink))
+	for link := range byLink {
+		links = append(links, link)
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	for _, link := range links {
+		cands := byLink[link]
+		if len(cands) == 1 {
+			moves = append(moves, cands[0].m)
+			continue
+		}
+		// Deterministic round-robin: sort by key (VC, kind) then rotate.
+		sort.Slice(cands, func(i, j int) bool { return cands[i].key < cands[j].key })
+		pick := s.linkRR[link] % len(cands)
+		s.linkRR[link]++
+		moves = append(moves, cands[pick].m)
+	}
+	return moves
+}
+
+// cand is a link-transfer candidate with a deterministic ordering key.
+type cand struct {
+	m   move
+	key int
+}
+
+// admissible reports whether flit fr may enter channel ci this cycle
+// (ownership and buffer space against start-of-cycle state).
+func (s *Simulator) admissible(ci int, fr flitRef) bool {
+	cs := &s.chans[ci]
+	if len(cs.buf) >= s.cfg.BufferDepth {
+		return false
+	}
+	if cs.owner == fr.pkt {
+		return true
+	}
+	return cs.owner == -1 && fr.isHead
+}
+
+// apply executes one move decided by arbitrate.
+func (s *Simulator) apply(m move) {
+	if m.dst == -1 {
+		// Ejection.
+		cs := &s.chans[m.src]
+		fr := cs.buf[0]
+		cs.buf = cs.buf[1:]
+		p := s.packets[fr.pkt]
+		p.ejected++
+		s.stats.DeliveredFlits++
+		if fr.isTail {
+			cs.owner = -1
+			s.recordDelivery(p)
+			delete(s.packets, p.id)
+			s.stats.DeliveredPackets++
+		}
+		return
+	}
+	var fr flitRef
+	if m.src == -1 {
+		// Injection: consume the next flit of the flow's head packet.
+		fs := &s.flows[m.fl]
+		p := fs.queue[0]
+		fr = flitRef{pkt: p.id, isHead: p.injected == 0, isTail: p.injected == p.flits-1}
+		p.injected++
+		s.stats.InjectedFlits++
+		if fr.isTail {
+			fs.queue = fs.queue[1:]
+		}
+	} else {
+		src := &s.chans[m.src]
+		fr = src.buf[0]
+		src.buf = src.buf[1:]
+		if fr.isTail {
+			src.owner = -1
+		}
+	}
+	dst := &s.chans[m.dst]
+	if fr.isHead {
+		dst.owner = fr.pkt
+	}
+	dst.buf = append(dst.buf, fr)
+}
+
+func (s *Simulator) recordDelivery(p *packet) {
+	fs := &s.stats.PerFlow[p.flow]
+	fs.Delivered++
+	if p.created >= s.cfg.WarmupCycles {
+		lat := s.now - p.created
+		s.stats.LatencyCount++
+		s.stats.LatencySum += lat
+		if lat > s.stats.LatencyMax {
+			s.stats.LatencyMax = lat
+		}
+		fs.LatencySum += lat
+		fs.LatencyN++
+		if s.cfg.CollectLatencies {
+			s.stats.Latencies = append(s.stats.Latencies, lat)
+		}
+	}
+}
+
+// flitsInFlight reports whether any channel buffer holds flits.
+func (s *Simulator) flitsInFlight() bool {
+	for ci := range s.chans {
+		if len(s.chans[ci].buf) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// drained reports whether drain mode has delivered every budgeted packet.
+func (s *Simulator) drained() bool {
+	if s.cfg.PacketsPerFlow <= 0 {
+		return false
+	}
+	for i := range s.flows {
+		if s.flows[i].created < s.cfg.PacketsPerFlow || len(s.flows[i].queue) > 0 {
+			return false
+		}
+	}
+	return len(s.packets) == 0
+}
+
+// Run advances the simulation until MaxCycles, a confirmed deadlock
+// (unless recovery is enabled, which resolves deadlocks at runtime), or
+// (in drain mode) full delivery, and returns the final statistics.
+func (s *Simulator) Run() (*Stats, error) {
+	for s.now < s.cfg.MaxCycles {
+		s.Step()
+		if s.now-s.lastProgress >= s.cfg.StallThreshold {
+			if s.cfg.Recovery && s.tryRecover() {
+				continue
+			}
+			pkts := s.confirmDeadlock()
+			s.stats.Deadlocked = true
+			s.stats.DeadlockCycle = s.now
+			s.stats.DeadlockPackets = pkts
+			break
+		}
+		if s.drained() {
+			s.stats.Drained = true
+			break
+		}
+	}
+	s.finishStats()
+	st := s.Stats()
+	return &st, nil
+}
+
+func (s *Simulator) finishStats() {
+	if s.cfg.CollectLatencies {
+		sort.Slice(s.stats.Latencies, func(i, j int) bool {
+			return s.stats.Latencies[i] < s.stats.Latencies[j]
+		})
+	}
+}

@@ -1,0 +1,451 @@
+package wormhole
+
+import (
+	"testing"
+
+	"github.com/nocdr/nocdr/internal/core"
+	"github.com/nocdr/nocdr/internal/ordering"
+	"github.com/nocdr/nocdr/internal/route"
+	"github.com/nocdr/nocdr/internal/topology"
+	"github.com/nocdr/nocdr/internal/traffic"
+)
+
+// ringExample builds the paper's Figure 1 network: the cyclic-CDG ring
+// with flows F1..F4, one core per switch.
+func ringExample() (*topology.Topology, *traffic.Graph, *route.Table) {
+	top := topology.New("figure1")
+	for i := 0; i < 4; i++ {
+		sw := top.AddSwitch("")
+		top.AttachCore(i, sw)
+	}
+	for i := 0; i < 4; i++ {
+		top.MustAddLink(topology.SwitchID(i), topology.SwitchID((i+1)%4))
+	}
+	g := traffic.NewGraph("ring")
+	for i := 0; i < 4; i++ {
+		g.AddCore("")
+	}
+	g.MustAddFlow(0, 3, 100) // F1 = L1,L2,L3
+	g.MustAddFlow(2, 0, 100) // F2 = L3,L4
+	g.MustAddFlow(3, 1, 100) // F3 = L4,L1
+	g.MustAddFlow(0, 2, 100) // F4 = L1,L2
+	ch := func(ids ...int) []topology.Channel {
+		out := make([]topology.Channel, len(ids))
+		for i, id := range ids {
+			out[i] = topology.Chan(topology.LinkID(id), 0)
+		}
+		return out
+	}
+	tab := route.NewTable(4)
+	tab.Set(0, ch(0, 1, 2))
+	tab.Set(1, ch(2, 3))
+	tab.Set(2, ch(3, 0))
+	tab.Set(3, ch(0, 1))
+	return top, g, tab
+}
+
+// lineExample builds an acyclic 3-switch line with one flow across it.
+func lineExample(flits int) (*topology.Topology, *traffic.Graph, *route.Table) {
+	top := topology.New("line")
+	a := top.AddSwitch("")
+	b := top.AddSwitch("")
+	c := top.AddSwitch("")
+	l0 := top.MustAddLink(a, b)
+	l1 := top.MustAddLink(b, c)
+	top.AttachCore(0, a)
+	top.AttachCore(1, c)
+	g := traffic.NewGraph("line")
+	g.AddCore("")
+	g.AddCore("")
+	fid := g.MustAddFlow(0, 1, 100)
+	g.SetPacketFlits(fid, flits)
+	tab := route.NewTable(1)
+	tab.Set(0, []topology.Channel{topology.Chan(l0, 0), topology.Chan(l1, 0)})
+	return top, g, tab
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{},                                   // MaxCycles missing
+		{MaxCycles: 100, LoadFactor: 2},      // load > 1
+		{MaxCycles: 100, LoadFactor: -0.5},   // negative load
+		{MaxCycles: 100, PacketsPerFlow: -1}, // negative budget
+		{MaxCycles: 100, WarmupCycles: -1},   // negative warmup
+	}
+	for i, cfg := range cases {
+		top, g, tab := lineExample(4)
+		if _, err := New(top, g, tab, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestNewRejectsBadRoutes(t *testing.T) {
+	top, g, _ := lineExample(4)
+	missing := route.NewTable(1)
+	if _, err := New(top, g, missing, Config{MaxCycles: 10}); err == nil {
+		t.Error("missing route accepted")
+	}
+	bad := route.NewTable(1)
+	bad.Set(0, []topology.Channel{topology.Chan(0, 5)})
+	if _, err := New(top, g, bad, Config{MaxCycles: 10}); err == nil {
+		t.Error("unprovisioned channel accepted")
+	}
+	dup := route.NewTable(1)
+	dup.Set(0, []topology.Channel{topology.Chan(0, 0), topology.Chan(1, 0), topology.Chan(0, 0)})
+	if _, err := New(top, g, dup, Config{MaxCycles: 10}); err == nil {
+		t.Error("channel revisit accepted")
+	}
+}
+
+func TestSinglePacketLatency(t *testing.T) {
+	// One 4-flit packet over 2 hops: tail ejects at cycle
+	// hops + flits - 1 = 5 (head: inject@0, hop@1, eject@2; one flit
+	// drains per cycle after).
+	top, g, tab := lineExample(4)
+	sim, err := New(top, g, tab, Config{MaxCycles: 100, PacketsPerFlow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Drained {
+		t.Fatalf("single packet did not drain: %+v", st)
+	}
+	if st.DeliveredPackets != 1 || st.DeliveredFlits != 4 {
+		t.Errorf("delivered %d packets / %d flits", st.DeliveredPackets, st.DeliveredFlits)
+	}
+	if st.LatencyMax != 5 {
+		t.Errorf("latency = %d, want 5 (2 hops + 4 flits - 1)", st.LatencyMax)
+	}
+	if st.AvgLatency() != 5 {
+		t.Errorf("avg latency = %f, want 5", st.AvgLatency())
+	}
+}
+
+func TestRingDeadlocksUnderSaturation(t *testing.T) {
+	top, g, tab := ringExample()
+	sim, err := New(top, g, tab, Config{
+		MaxCycles:  20000,
+		LoadFactor: 1.0,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Deadlocked {
+		t.Fatalf("cyclic-CDG ring did not deadlock at saturation: %+v", st)
+	}
+	if len(st.DeadlockPackets) < 2 {
+		t.Errorf("wait-for cycle has %d packets, want >= 2", len(st.DeadlockPackets))
+	}
+	// Every packet on the cycle must hold at least one channel.
+	for _, pid := range st.DeadlockPackets {
+		if len(sim.HeldChannels(pid)) == 0 {
+			t.Errorf("deadlocked packet %d holds no channel", pid)
+		}
+	}
+}
+
+func TestRemovalEliminatesDeadlock(t *testing.T) {
+	top, g, tab := ringExample()
+	res, err := core.Remove(top, tab, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(res.Topology, g, res.Routes, Config{
+		MaxCycles:  20000,
+		LoadFactor: 1.0,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deadlocked {
+		t.Fatalf("deadlock after removal at cycle %d (packets %v)",
+			st.DeadlockCycle, st.DeadlockPackets)
+	}
+	if st.DeliveredPackets == 0 {
+		t.Error("nothing delivered at saturation")
+	}
+}
+
+func TestOrderingEliminatesDeadlock(t *testing.T) {
+	top, g, tab := ringExample()
+	res, err := ordering.Apply(top, tab, ordering.HopIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(res.Topology, g, res.Routes, Config{
+		MaxCycles:  20000,
+		LoadFactor: 1.0,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deadlocked {
+		t.Fatal("deadlock after resource ordering")
+	}
+}
+
+func TestRemovedRingDrainsFiniteWorkload(t *testing.T) {
+	top, g, tab := ringExample()
+	res, err := core.Remove(top, tab, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(res.Topology, g, res.Routes, Config{
+		MaxCycles:      200000,
+		PacketsPerFlow: 50,
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Drained {
+		t.Fatalf("finite workload did not drain: %+v", st)
+	}
+	if st.DeliveredPackets != 4*50 {
+		t.Errorf("delivered %d packets, want 200", st.DeliveredPackets)
+	}
+	if st.InjectedFlits != st.DeliveredFlits {
+		t.Errorf("flits injected %d != delivered %d", st.InjectedFlits, st.DeliveredFlits)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Stats {
+		top, g, tab := ringExample()
+		res, err := core.Remove(top, tab, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := New(res.Topology, g, res.Routes, Config{
+			MaxCycles:  5000,
+			LoadFactor: 0.5,
+			Seed:       42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return *st
+	}
+	a, b := run(), run()
+	if !statsEqual(a, b) {
+		t.Errorf("nondeterministic simulation:\n%+v\n%+v", a, b)
+	}
+}
+
+func statsEqual(a, b Stats) bool {
+	return a.Cycles == b.Cycles &&
+		a.InjectedPackets == b.InjectedPackets &&
+		a.DeliveredPackets == b.DeliveredPackets &&
+		a.InjectedFlits == b.InjectedFlits &&
+		a.DeliveredFlits == b.DeliveredFlits &&
+		a.LatencySum == b.LatencySum &&
+		a.LatencyMax == b.LatencyMax &&
+		a.Deadlocked == b.Deadlocked &&
+		a.DeadlockCycle == b.DeadlockCycle
+}
+
+func TestLocalFlowsBypassFabric(t *testing.T) {
+	top := topology.New("t")
+	sw := top.AddSwitch("")
+	top.AttachCore(0, sw)
+	top.AttachCore(1, sw)
+	g := traffic.NewGraph("t")
+	g.AddCore("")
+	g.AddCore("")
+	g.MustAddFlow(0, 1, 10)
+	tab := route.NewTable(1)
+	tab.Set(0, nil)
+	sim, err := New(top, g, tab, Config{MaxCycles: 100, PacketsPerFlow: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LocalPackets != 5 {
+		t.Errorf("LocalPackets = %d, want 5", st.LocalPackets)
+	}
+	if st.InjectedPackets != 0 || st.Deadlocked {
+		t.Errorf("local traffic entered the fabric: %+v", st)
+	}
+	if !st.Drained {
+		t.Error("local workload did not drain")
+	}
+}
+
+func TestBackpressureWithTinyBuffers(t *testing.T) {
+	// Depth-1 buffers and a 16-flit packet: the worm spans the whole
+	// line; everything must still drain on an acyclic route.
+	top, g, tab := lineExample(16)
+	sim, err := New(top, g, tab, Config{
+		MaxCycles:      10000,
+		PacketsPerFlow: 3,
+		BufferDepth:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Drained || st.Deadlocked {
+		t.Fatalf("acyclic line stalled with tiny buffers: %+v", st)
+	}
+	if st.DeliveredFlits != 3*16 {
+		t.Errorf("delivered %d flits, want 48", st.DeliveredFlits)
+	}
+}
+
+// TestWormholeInvariants steps a saturated ring and checks the channel
+// ownership invariants every cycle until the deadlock (or horizon).
+func TestWormholeInvariants(t *testing.T) {
+	top, g, tab := ringExample()
+	sim, err := New(top, g, tab, Config{MaxCycles: 3000, LoadFactor: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		sim.Step()
+		for ci := range sim.chans {
+			cs := &sim.chans[ci]
+			if (cs.owner == -1) != (len(cs.buf) == 0) {
+				t.Fatalf("cycle %d: channel %d owner/buffer invariant broken (owner %d, %d flits)",
+					i, ci, cs.owner, len(cs.buf))
+			}
+			if len(cs.buf) > sim.cfg.BufferDepth {
+				t.Fatalf("cycle %d: channel %d overflows (%d flits)", i, ci, len(cs.buf))
+			}
+			for _, fr := range cs.buf {
+				if fr.pkt != cs.owner {
+					t.Fatalf("cycle %d: foreign flit (pkt %d) in channel %d owned by %d",
+						i, fr.pkt, ci, cs.owner)
+				}
+			}
+		}
+	}
+}
+
+func TestPerFlowStats(t *testing.T) {
+	top, g, tab := ringExample()
+	res, err := core.Remove(top, tab, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(res.Topology, g, res.Routes, Config{
+		MaxCycles:      100000,
+		PacketsPerFlow: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Drained {
+		t.Fatalf("workload did not drain: %+v", st)
+	}
+	if len(st.PerFlow) != g.NumFlows() {
+		t.Fatalf("PerFlow has %d entries, want %d", len(st.PerFlow), g.NumFlows())
+	}
+	var delivered int64
+	for i, f := range st.PerFlow {
+		if f.Injected != 20 || f.Delivered != 20 {
+			t.Errorf("flow %d: injected %d delivered %d, want 20/20", i, f.Injected, f.Delivered)
+		}
+		if f.AvgLatency() <= 0 {
+			t.Errorf("flow %d: non-positive avg latency", i)
+		}
+		delivered += f.Delivered
+	}
+	if delivered != st.DeliveredPackets+st.LocalPackets {
+		t.Errorf("per-flow delivered %d != total %d", delivered, st.DeliveredPackets+st.LocalPackets)
+	}
+	var zero FlowStats
+	if zero.AvgLatency() != 0 {
+		t.Error("zero FlowStats latency not 0")
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	var st Stats
+	if st.AvgLatency() != 0 || st.ThroughputFlitsPerCycle() != 0 {
+		t.Error("zero-value stats helpers must return 0")
+	}
+	st = Stats{LatencyCount: 2, LatencySum: 10, Cycles: 4, DeliveredFlits: 8}
+	if st.AvgLatency() != 5 || st.ThroughputFlitsPerCycle() != 2 {
+		t.Error("stats helpers wrong")
+	}
+}
+
+func TestHigherLoadHigherLatencyOnSharedLink(t *testing.T) {
+	// Two flows share one link; at higher load the average latency must
+	// not drop (sanity of the congestion model).
+	build := func(load float64) *Stats {
+		top := topology.New("t")
+		a := top.AddSwitch("")
+		b := top.AddSwitch("")
+		l0 := top.MustAddLink(a, b)
+		top.AttachCore(0, a)
+		top.AttachCore(1, b)
+		top.AttachCore(2, a)
+		top.AttachCore(3, b)
+		g := traffic.NewGraph("t")
+		for i := 0; i < 4; i++ {
+			g.AddCore("")
+		}
+		g.MustAddFlow(0, 1, 100)
+		g.MustAddFlow(2, 3, 100)
+		tab := route.NewTable(2)
+		tab.Set(0, []topology.Channel{topology.Chan(l0, 0)})
+		top.AddVC(l0)
+		tab.Set(1, []topology.Channel{topology.Chan(l0, 1)})
+		sim, err := New(top, g, tab, Config{MaxCycles: 20000, LoadFactor: load, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	low := build(0.1)
+	high := build(0.9)
+	if high.AvgLatency() < low.AvgLatency() {
+		t.Errorf("latency fell with load: %.2f @0.1 vs %.2f @0.9",
+			low.AvgLatency(), high.AvgLatency())
+	}
+	if high.Deadlocked || low.Deadlocked {
+		t.Error("acyclic two-VC link deadlocked")
+	}
+}

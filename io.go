@@ -1,0 +1,68 @@
+package nocdr
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/nocdr/nocdr/internal/route"
+	"github.com/nocdr/nocdr/internal/topology"
+	"github.com/nocdr/nocdr/internal/traffic"
+)
+
+// This file holds the JSON/DOT I/O surface of the public API: topologies,
+// communication graphs and route tables all round-trip through stable,
+// human-editable JSON schemas, and topologies/CDGs render to Graphviz DOT.
+
+// ReadTopology parses a topology from JSON.
+func ReadTopology(r io.Reader) (*Topology, error) { return topology.Read(r) }
+
+// ReadTraffic parses a communication graph from JSON.
+func ReadTraffic(r io.Reader) (*TrafficGraph, error) { return traffic.Read(r) }
+
+// ReadRoutes parses a route table from JSON.
+func ReadRoutes(r io.Reader) (*RouteTable, error) { return route.Read(r) }
+
+// LoadTopology reads a topology from a JSON file.
+func LoadTopology(path string) (*Topology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nocdr: %w", err)
+	}
+	defer f.Close()
+	return topology.Read(f)
+}
+
+// LoadTraffic reads a communication graph from a JSON file.
+func LoadTraffic(path string) (*TrafficGraph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nocdr: %w", err)
+	}
+	defer f.Close()
+	return traffic.Read(f)
+}
+
+// LoadRoutes reads a route table from a JSON file.
+func LoadRoutes(path string) (*RouteTable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nocdr: %w", err)
+	}
+	defer f.Close()
+	return route.Read(f)
+}
+
+// SaveJSON writes any of the JSON-serializable artifacts (*Topology,
+// *TrafficGraph, *RouteTable) to a file.
+func SaveJSON(path string, artifact interface{ Write(io.Writer) error }) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nocdr: %w", err)
+	}
+	defer f.Close()
+	if err := artifact.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

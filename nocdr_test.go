@@ -1,0 +1,259 @@
+package nocdr_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	nocdr "github.com/nocdr/nocdr"
+)
+
+// buildRing constructs the paper's running example (Figure 1) through the
+// public API only.
+func buildRing() (*nocdr.Topology, *nocdr.TrafficGraph, *nocdr.RouteTable) {
+	top := nocdr.NewTopology("figure1")
+	for i := 0; i < 4; i++ {
+		sw := top.AddSwitch("")
+		top.AttachCore(i, sw)
+	}
+	for i := 0; i < 4; i++ {
+		top.MustAddLink(nocdr.SwitchID(i), nocdr.SwitchID((i+1)%4))
+	}
+	g := nocdr.NewTraffic("ring")
+	for i := 0; i < 4; i++ {
+		g.AddCore("")
+	}
+	g.MustAddFlow(0, 3, 100)
+	g.MustAddFlow(2, 0, 100)
+	g.MustAddFlow(3, 1, 100)
+	g.MustAddFlow(0, 2, 100)
+	tab := nocdr.NewRouteTable(4)
+	ch := func(ids ...int) []nocdr.Channel {
+		out := make([]nocdr.Channel, len(ids))
+		for i, id := range ids {
+			out[i] = nocdr.Chan(nocdr.LinkID(id), 0)
+		}
+		return out
+	}
+	tab.Set(0, ch(0, 1, 2))
+	tab.Set(1, ch(2, 3))
+	tab.Set(2, ch(3, 0))
+	tab.Set(3, ch(0, 1))
+	return top, g, tab
+}
+
+func ExampleRemoveDeadlocks() {
+	top, _, tab := buildRing()
+	free, _ := nocdr.DeadlockFree(top, tab)
+	fmt.Println("deadlock-free before:", free)
+	res, _ := nocdr.RemoveDeadlocks(top, tab, nocdr.RemovalOptions{})
+	fmt.Println("added VCs:", res.AddedVCs)
+	fmt.Println("breaks:", res.Iterations)
+	free, _ = nocdr.DeadlockFree(res.Topology, res.Routes)
+	fmt.Println("deadlock-free after:", free)
+	// Output:
+	// deadlock-free before: false
+	// added VCs: 1
+	// breaks: 1
+	// deadlock-free after: true
+}
+
+func ExampleForwardCostTable() {
+	top, _, tab := buildRing()
+	g, _ := nocdr.BuildCDG(top, tab)
+	cycle := g.SmallestCycle()
+	ct, _ := nocdr.ForwardCostTable(cycle, tab)
+	// Reprint the paper's Table 1.
+	header := "    "
+	for e := range cycle {
+		header += fmt.Sprintf(" D%d", e+1)
+	}
+	fmt.Println(header)
+	for r, flowID := range ct.FlowIDs {
+		row := fmt.Sprintf("F%d  ", flowID+1)
+		for _, c := range ct.PerFlow[r] {
+			row += fmt.Sprintf("  %d", c)
+		}
+		fmt.Println(row)
+	}
+	row := "MAX "
+	for _, m := range ct.Max {
+		row += fmt.Sprintf("  %d", m)
+	}
+	fmt.Println(row)
+	// Output:
+	//      D1 D2 D3 D4
+	// F1    1  2  0  0
+	// F2    0  0  1  0
+	// F3    0  0  0  1
+	// F4    1  0  0  0
+	// MAX   1  2  1  1
+}
+
+func TestEndToEndBenchmarkFlow(t *testing.T) {
+	for _, name := range nocdr.BenchmarkNames() {
+		g, err := nocdr.Benchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		design, err := nocdr.Synthesize(g, nocdr.SynthOptions{SwitchCount: 10})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, err := nocdr.RemoveDeadlocks(design.Topology, design.Routes, nocdr.RemovalOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		free, err := nocdr.DeadlockFree(res.Topology, res.Routes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !free {
+			t.Errorf("%s: removal left a cyclic CDG", name)
+		}
+		ro, err := nocdr.ApplyResourceOrdering(design.Topology, design.Routes, nocdr.HopIndex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AddedVCs > ro.AddedVCs && ro.AddedVCs > 0 {
+			t.Errorf("%s: removal (%d VCs) worse than ordering (%d VCs)",
+				name, res.AddedVCs, ro.AddedVCs)
+		}
+		p := nocdr.DefaultPowerParams()
+		if _, err := nocdr.EstimatePower(p, res.Topology, g, res.Routes); err != nil {
+			t.Errorf("%s: power: %v", name, err)
+		}
+		if a := nocdr.EstimateArea(p, res.Topology); a.TotalUM2 <= 0 {
+			t.Errorf("%s: non-positive area", name)
+		}
+	}
+}
+
+func TestComputeRoutesFacade(t *testing.T) {
+	g, err := nocdr.Benchmark("D26_media")
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := nocdr.Synthesize(g, nocdr.SynthOptions{SwitchCount: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := nocdr.ComputeRoutes(design.Topology, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Validate(design.Topology, g); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimulateFacade(t *testing.T) {
+	top, g, tab := buildRing()
+	st, err := nocdr.Simulate(top, g, tab, nocdr.SimConfig{
+		MaxCycles:  20000,
+		LoadFactor: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Deadlocked {
+		t.Error("saturated cyclic ring did not deadlock")
+	}
+	res, err := nocdr.RemoveDeadlocks(top, tab, nocdr.RemovalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = nocdr.Simulate(res.Topology, g, res.Routes, nocdr.SimConfig{
+		MaxCycles:  20000,
+		LoadFactor: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deadlocked {
+		t.Error("deadlock after removal")
+	}
+}
+
+func TestJSONFileRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	top, g, tab := buildRing()
+
+	tp := filepath.Join(dir, "topology.json")
+	gp := filepath.Join(dir, "traffic.json")
+	rp := filepath.Join(dir, "routes.json")
+	if err := nocdr.SaveJSON(tp, top); err != nil {
+		t.Fatal(err)
+	}
+	if err := nocdr.SaveJSON(gp, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := nocdr.SaveJSON(rp, tab); err != nil {
+		t.Fatal(err)
+	}
+
+	top2, err := nocdr.LoadTopology(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := nocdr.LoadTraffic(gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab2, err := nocdr.LoadRoutes(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top2.NumSwitches() != 4 || g2.NumFlows() != 4 {
+		t.Error("file round trip changed shapes")
+	}
+	if err := tab2.Validate(top2, g2); err != nil {
+		t.Error(err)
+	}
+	// The loaded design must behave identically.
+	res, err := nocdr.RemoveDeadlocks(top2, tab2, nocdr.RemovalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AddedVCs != 1 {
+		t.Errorf("loaded design removal added %d VCs, want 1", res.AddedVCs)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := nocdr.LoadTopology("/nonexistent/x.json"); err == nil {
+		t.Error("missing topology file accepted")
+	}
+	if _, err := nocdr.LoadTraffic("/nonexistent/x.json"); err == nil {
+		t.Error("missing traffic file accepted")
+	}
+	if _, err := nocdr.LoadRoutes("/nonexistent/x.json"); err == nil {
+		t.Error("missing routes file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nocdr.LoadTopology(bad); err == nil {
+		t.Error("bad topology JSON accepted")
+	}
+}
+
+func TestBackwardCostTableFacade(t *testing.T) {
+	top, _, tab := buildRing()
+	g, err := nocdr.BuildCDG(top, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := nocdr.BackwardCostTable(g.SmallestCycle(), tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Direction != nocdr.Backward {
+		t.Error("direction not backward")
+	}
+	if ct.BestCost != 1 {
+		t.Errorf("backward best cost = %d, want 1", ct.BestCost)
+	}
+}

@@ -1,0 +1,37 @@
+package nocdr
+
+import "github.com/nocdr/nocdr/internal/regular"
+
+// Regular-topology support: the paper's method applies to "any NoC
+// topology and routing function", and the classic regular fabrics are the
+// easiest way to see both ends of that claim — XY routing on a mesh is
+// already deadlock-free (removal is a no-op) while dimension-ordered
+// routing on a torus deadlocks through its wrap-around links until the
+// algorithm adds its dateline-like VCs.
+
+// Grid is a generated regular topology with its geometry (see Mesh,
+// Torus, Ring).
+type Grid = regular.Grid
+
+// Mesh builds a cols×rows bidirectional 2D mesh, one core per switch.
+func Mesh(cols, rows int) (*Grid, error) { return regular.Mesh(cols, rows) }
+
+// Torus builds a cols×rows bidirectional 2D torus, one core per switch.
+func Torus(cols, rows int) (*Grid, error) { return regular.Torus(cols, rows) }
+
+// Ring builds an n-switch ring, one core per switch; bidirectional rings
+// get opposing link pairs, unidirectional rings are the minimal
+// deadlock-prone fabric (the paper's Figure 1).
+func Ring(n int, bidirectional bool) (*Grid, error) { return regular.Ring(n, bidirectional) }
+
+// DORRoutes computes dimension-ordered (XY) routes on a generated grid:
+// deadlock-free on meshes, deadlock-prone across torus wrap links.
+func DORRoutes(g *Grid, tg *TrafficGraph) (*RouteTable, error) {
+	return regular.DORRoutes(g, tg)
+}
+
+// UniformTraffic builds the stride-permutation workload (core i sends to
+// core i+stride mod n) used to exercise ring and torus datelines.
+func UniformTraffic(n, stride int, bandwidth float64) (*TrafficGraph, error) {
+	return regular.UniformTraffic(n, stride, bandwidth)
+}

@@ -1,0 +1,44 @@
+# Local dev and CI run identical commands: .github/workflows/ci.yml calls
+# these targets, so a green `make ci` locally means a green pipeline.
+
+GO ?= go
+
+.PHONY: build test race bench fmt vet fuzz-smoke examples ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One-iteration pass over every benchmark; CI uploads the output as an
+# artifact so regressions are visible per-commit.
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# Ten seconds per fuzz target across every package that defines one.
+fuzz-smoke:
+	@for pkg in $$($(GO) list ./...); do \
+		for target in $$($(GO) test -list '^Fuzz' $$pkg 2>/dev/null | grep '^Fuzz' || true); do \
+			echo "fuzzing $$pkg $$target"; \
+			$(GO) test -run='^$$' -fuzz="^$$target$$" -fuzztime=10s $$pkg || exit 1; \
+		done; \
+	done
+
+# Examples have no test files; build each so they cannot silently rot.
+examples:
+	$(GO) build ./examples/...
+
+ci: build vet fmt race examples

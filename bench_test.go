@@ -9,10 +9,12 @@ package nocdr_test
 // cover the design choices DESIGN.md calls out.
 
 import (
+	"runtime"
 	"testing"
 
 	nocdr "github.com/nocdr/nocdr"
 	"github.com/nocdr/nocdr/internal/bench"
+	"github.com/nocdr/nocdr/internal/bench/runner"
 	"github.com/nocdr/nocdr/internal/core"
 	"github.com/nocdr/nocdr/internal/ordering"
 	"github.com/nocdr/nocdr/internal/regular"
@@ -270,6 +272,81 @@ func benchScale(b *testing.B, cores, fanout, switches int) {
 func BenchmarkScale_64Cores(b *testing.B)  { benchScale(b, 64, 6, 24) }
 func BenchmarkScale_128Cores(b *testing.B) { benchScale(b, 128, 6, 48) }
 func BenchmarkScale_256Cores(b *testing.B) { benchScale(b, 256, 6, 96) }
+
+// --- Incremental vs full-rebuild Remove: the hot-path optimisation.
+// Same inputs, same results (see core's differential tests); the metric
+// of interest is ns/op. ---
+
+func benchRemovalMode(b *testing.B, name string, switches int, fullRebuild bool) {
+	des := design(b, name, switches)
+	opts := core.Options{FullRebuild: fullRebuild}
+	b.ResetTimer()
+	var added int
+	for i := 0; i < b.N; i++ {
+		res, err := core.Remove(des.Topology, des.Routes, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		added = res.AddedVCs
+	}
+	b.ReportMetric(float64(added), "VCs")
+}
+
+func BenchmarkRemoveIncremental_D36_8_35sw(b *testing.B) { benchRemovalMode(b, "D36_8", 35, false) }
+func BenchmarkRemoveFullRebuild_D36_8_35sw(b *testing.B) { benchRemovalMode(b, "D36_8", 35, true) }
+
+func benchScaleMode(b *testing.B, cores, fanout, switches int, fullRebuild bool) {
+	g := traffic.RandomKOut("scale", cores, fanout, 99)
+	des, err := synth.Synthesize(g, synth.Options{SwitchCount: switches})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.Options{FullRebuild: fullRebuild}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Remove(des.Topology, des.Routes, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRemoveIncremental_128Cores(b *testing.B) { benchScaleMode(b, 128, 6, 48, false) }
+func BenchmarkRemoveFullRebuild_128Cores(b *testing.B) { benchScaleMode(b, 128, 6, 48, true) }
+func BenchmarkRemoveIncremental_256Cores(b *testing.B) { benchScaleMode(b, 256, 6, 96, false) }
+func BenchmarkRemoveFullRebuild_256Cores(b *testing.B) { benchScaleMode(b, 256, 6, 96, true) }
+
+// --- Serial vs parallel sweep engine over the full paper grid. ---
+
+func benchSweep(b *testing.B, parallel int) {
+	grid := runner.Grid{
+		Benchmarks:   traffic.BenchmarkNames(),
+		SwitchCounts: []int{8, 11, 14, 17, 20},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := runner.Run(grid, runner.Options{Parallel: parallel})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rep.Results {
+			if r.Error != "" {
+				b.Fatal(r.Error)
+			}
+		}
+	}
+}
+
+// The parallel variant uses max(8, NumCPU) workers: on a single-core host
+// it measures pool overhead (expect parity with serial); on multi-core CI
+// it measures the fan-out speedup.
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) {
+	workers := runtime.NumCPU()
+	if workers < 8 {
+		workers = 8
+	}
+	benchSweep(b, workers)
+}
 
 // --- Extensions: alternative deadlock-freedom strategies (E12/E13). ---
 

@@ -11,6 +11,13 @@
 //	nocexp -summary     # only the scalar claims
 //	nocexp -demo        # only the simulation validation
 //	nocexp -csvdir out/ # also write CSV files
+//
+// The sweep subcommand runs arbitrary experiment grids through the
+// concurrent runner (see internal/bench/runner):
+//
+//	nocexp sweep                              # all six benchmarks, default axes
+//	nocexp sweep -parallel 8 -json out.json   # fan out, write JSON report
+//	nocexp sweep -benchmarks rand:64x6 -seeds 1,2,3 -switches 16,24,32
 package main
 
 import (
@@ -24,6 +31,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		if err := runSweep(os.Args[2:], os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "nocexp sweep:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fig := flag.Int("fig", 0, "regenerate only figure 8, 9, or 10")
 	summaryOnly := flag.Bool("summary", false, "print only the Section 5 scalar claims")
 	demoOnly := flag.Bool("demo", false, "run only the simulation validation")

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"github.com/nocdr/nocdr/internal/bench/runner"
+	"github.com/nocdr/nocdr/internal/traffic"
+)
+
+// runSweep implements the `nocexp sweep` subcommand: parse the grid and
+// engine flags, fan the jobs out, print the table, optionally write the
+// deterministic JSON report.
+func runSweep(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	benchmarks := fs.String("benchmarks", "all",
+		"comma-separated benchmark specs: paper names, rand:<cores>x<fanout>, or \"all\" for the six paper benchmarks")
+	switches := fs.String("switches", "", "comma-separated switch counts (default "+intsCSV(runner.DefaultSwitchCounts)+")")
+	policies := fs.String("policies", "smallest", "comma-separated cycle-selection policies: smallest, first")
+	seeds := fs.String("seeds", "0", "comma-separated seeds for rand benchmark specs")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "worker count (1 = serial)")
+	jsonOut := fs.String("json", "", "write the deterministic JSON report to this file")
+	fullRebuild := fs.Bool("full-rebuild", false, "use the full-rebuild Remove path instead of the incremental one")
+	quiet := fs.Bool("quiet", false, "suppress per-job progress on stderr")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	grid := runner.Grid{Policies: splitCSV(*policies)}
+	if *benchmarks != "" && *benchmarks != "all" {
+		grid.Benchmarks = splitCSV(*benchmarks)
+	} else {
+		grid.Benchmarks = traffic.BenchmarkNames()
+	}
+	var err error
+	if grid.SwitchCounts, err = parseInts(*switches); err != nil {
+		return fmt.Errorf("-switches: %w", err)
+	}
+	if grid.Seeds, err = parseInt64s(*seeds); err != nil {
+		return fmt.Errorf("-seeds: %w", err)
+	}
+
+	opts := runner.Options{Parallel: *parallel, FullRebuild: *fullRebuild}
+	if !*quiet {
+		opts.Progress = stderr
+	}
+	rep, err := runner.Run(grid, opts)
+	if err != nil {
+		return err
+	}
+	if err := runner.WriteTable(stdout, rep); err != nil {
+		return err
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	for _, r := range rep.Results {
+		if r.Error != "" {
+			return fmt.Errorf("%d of %d jobs failed (first: %s@%d: %s)",
+				countErrors(rep), len(rep.Results), r.Benchmark, r.SwitchCount, r.Error)
+		}
+	}
+	return nil
+}
+
+func countErrors(rep *runner.Report) int {
+	n := 0
+	for _, r := range rep.Results {
+		if r.Error != "" {
+			n++
+		}
+	}
+	return n
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitCSV(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInt64s(s string) ([]int64, error) {
+	var out []int64
+	for _, p := range splitCSV(s) {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func intsCSV(vs []int) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ",")
+}

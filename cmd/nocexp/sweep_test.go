@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSweepSerialParallelJSONIdentical is the CLI-level acceptance check:
+// the JSON report from `nocexp sweep -parallel N` must be byte-identical
+// to the serial run over the same grid.
+func TestSweepSerialParallelJSONIdentical(t *testing.T) {
+	dir := t.TempDir()
+	serialPath := filepath.Join(dir, "serial.json")
+	parallelPath := filepath.Join(dir, "parallel.json")
+	base := []string{"-switches", "5,8,11,14", "-quiet"}
+	if err := runSweep(append(base, "-parallel", "1", "-json", serialPath), io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep(append(base, "-parallel", "8", "-json", parallelPath), io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	serial, err := os.ReadFile(serialPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := os.ReadFile(parallelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("serial and parallel sweep JSON reports differ")
+	}
+	if !strings.Contains(string(serial), "\"benchmark\": \"D36_8\"") {
+		t.Error("report missing benchmark rows")
+	}
+}
+
+func TestSweepTableOutput(t *testing.T) {
+	var out bytes.Buffer
+	err := runSweep([]string{"-benchmarks", "D36_8", "-switches", "10", "-policies", "smallest,first", "-quiet"},
+		&out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"benchmark", "D36_8", "smallest", "first", "2 jobs, 0 errors"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("table output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSweepRandSpecAndFullRebuild(t *testing.T) {
+	var out bytes.Buffer
+	err := runSweep([]string{"-benchmarks", "rand:16x4", "-switches", "6,8", "-seeds", "1,2",
+		"-full-rebuild", "-quiet"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "4 jobs, 0 errors") {
+		t.Errorf("expected 4 clean jobs:\n%s", out.String())
+	}
+}
+
+func TestSweepRejectsBadFlags(t *testing.T) {
+	if err := runSweep([]string{"-benchmarks", "no_such"}, io.Discard, io.Discard); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := runSweep([]string{"-switches", "five"}, io.Discard, io.Discard); err == nil {
+		t.Error("non-numeric switch count accepted")
+	}
+	if err := runSweep([]string{"extra"}, io.Discard, io.Discard); err == nil {
+		t.Error("positional argument accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/nocdr/nocdr
+
+go 1.22

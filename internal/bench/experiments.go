@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/nocdr/nocdr/internal/bench/runner"
 	"github.com/nocdr/nocdr/internal/core"
 	"github.com/nocdr/nocdr/internal/ordering"
 	"github.com/nocdr/nocdr/internal/power"
@@ -51,35 +52,27 @@ type SweepPoint struct {
 // VCSweep regenerates a Figure 8/9-style curve for one benchmark: for
 // each switch count it synthesizes an application-specific topology,
 // runs the deadlock-removal algorithm and the resource-ordering baseline
-// on identical inputs, and reports both VC overheads.
+// on identical inputs, and reports both VC overheads. It is the serial
+// convenience wrapper around the runner package's per-point evaluation;
+// large grids go through runner.Run instead.
 func VCSweep(g *traffic.Graph, switchCounts []int) ([]SweepPoint, error) {
 	var out []SweepPoint
 	for _, s := range switchCounts {
 		if s > g.NumCores() {
 			continue // cannot have more switches than cores
 		}
-		des, err := synth.Synthesize(g, synth.Options{SwitchCount: s})
+		p, err := runner.Evaluate(g, s, runner.EvalOptions{})
 		if err != nil {
-			return nil, fmt.Errorf("bench: synthesize %s @ %d: %w", g.Name, s, err)
-		}
-		start := time.Now()
-		rm, err := core.Remove(des.Topology, des.Routes, core.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("bench: remove %s @ %d: %w", g.Name, s, err)
-		}
-		elapsed := time.Since(start)
-		ro, err := ordering.Apply(des.Topology, des.Routes, ordering.HopIndex)
-		if err != nil {
-			return nil, fmt.Errorf("bench: ordering %s @ %d: %w", g.Name, s, err)
+			return nil, fmt.Errorf("bench: %w", err)
 		}
 		out = append(out, SweepPoint{
 			SwitchCount:   s,
-			Links:         des.Topology.NumLinks(),
-			MaxRouteLen:   des.Routes.MaxLen(),
-			RemovalVCs:    rm.AddedVCs,
-			OrderingVCs:   ro.AddedVCs,
-			RemovalBreaks: rm.Iterations,
-			RemovalTime:   elapsed,
+			Links:         p.Links,
+			MaxRouteLen:   p.MaxRouteLen,
+			RemovalVCs:    p.RemovalVCs,
+			OrderingVCs:   p.OrderingVCs,
+			RemovalBreaks: p.Breaks,
+			RemovalTime:   p.RemovalTime,
 		})
 	}
 	return out, nil

@@ -1,0 +1,64 @@
+package runner
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/nocdr/nocdr/internal/core"
+	"github.com/nocdr/nocdr/internal/ordering"
+	"github.com/nocdr/nocdr/internal/synth"
+	"github.com/nocdr/nocdr/internal/traffic"
+)
+
+// EvalOptions configures one grid-point evaluation.
+type EvalOptions struct {
+	Selection   core.CycleSelection
+	Policy      core.DirectionPolicy
+	FullRebuild bool
+}
+
+// Point is the outcome of evaluating one (traffic graph, switch count)
+// design: the synthesized design's shape, the removal algorithm's cost,
+// and the resource-ordering baseline's cost on identical inputs. It is
+// the unit both the sweep engine and the figure reproductions build on.
+type Point struct {
+	Links          int
+	MaxRouteLen    int
+	InitialAcyclic bool
+	RemovalVCs     int
+	OrderingVCs    int
+	Breaks         int
+	RemovalTime    time.Duration
+}
+
+// Evaluate synthesizes an application-specific topology for the graph at
+// the given switch count, runs deadlock removal and the resource-ordering
+// baseline, and reports both VC overheads.
+func Evaluate(g *traffic.Graph, switchCount int, opts EvalOptions) (Point, error) {
+	var p Point
+	des, err := synth.Synthesize(g, synth.Options{SwitchCount: switchCount})
+	if err != nil {
+		return p, fmt.Errorf("runner: synthesize %s @ %d: %w", g.Name, switchCount, err)
+	}
+	start := time.Now()
+	rm, err := core.Remove(des.Topology, des.Routes, core.Options{
+		Selection:   opts.Selection,
+		Policy:      opts.Policy,
+		FullRebuild: opts.FullRebuild,
+	})
+	if err != nil {
+		return p, fmt.Errorf("runner: remove %s @ %d: %w", g.Name, switchCount, err)
+	}
+	p.RemovalTime = time.Since(start)
+	ro, err := ordering.Apply(des.Topology, des.Routes, ordering.HopIndex)
+	if err != nil {
+		return p, fmt.Errorf("runner: ordering %s @ %d: %w", g.Name, switchCount, err)
+	}
+	p.Links = des.Topology.NumLinks()
+	p.MaxRouteLen = des.Routes.MaxLen()
+	p.InitialAcyclic = rm.InitialAcyclic
+	p.RemovalVCs = rm.AddedVCs
+	p.OrderingVCs = ro.AddedVCs
+	p.Breaks = rm.Iterations
+	return p, nil
+}

@@ -1,0 +1,283 @@
+// Package runner is the concurrent sweep/experiment engine: it fans a
+// (benchmark × switch-count × selection-policy × seed) job grid out across
+// a worker pool, evaluates the deadlock-removal algorithm and the
+// resource-ordering baseline on every point, and aggregates results into a
+// deterministic, order-independent report. The same grid run serially or
+// with any worker count produces byte-identical JSON — each job is
+// self-contained and results are written to a pre-assigned slot, so
+// scheduling order never leaks into the output.
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/nocdr/nocdr/internal/core"
+	"github.com/nocdr/nocdr/internal/traffic"
+)
+
+// Grid spans the experiment space. Zero-valued fields fall back to the
+// paper's defaults (all six benchmarks, the Figure 10 family of switch
+// counts, the paper's smallest-first selection, seed 0).
+type Grid struct {
+	// Benchmarks are benchmark specs: a name from traffic.BenchmarkNames,
+	// or "rand:<cores>x<fanout>" for a synthetic random k-out traffic
+	// graph whose instance is picked by the job's seed.
+	Benchmarks []string `json:"benchmarks"`
+	// SwitchCounts is the synthesis sweep axis (Figures 8 and 9).
+	SwitchCounts []int `json:"switch_counts"`
+	// Policies are cycle-selection policies: "smallest" or "first".
+	Policies []string `json:"policies"`
+	// Seeds instantiate random benchmark specs; named benchmarks are
+	// deterministic, so for them every seed reproduces the same design.
+	Seeds []int64 `json:"seeds"`
+}
+
+// DefaultSwitchCounts is the default sweep axis: the Figure 10 design
+// point bracketed by the shared x-positions of Figures 8 and 9.
+var DefaultSwitchCounts = []int{8, 11, 14, 20}
+
+func (g Grid) normalized() Grid {
+	if len(g.Benchmarks) == 0 {
+		g.Benchmarks = traffic.BenchmarkNames()
+	}
+	if len(g.SwitchCounts) == 0 {
+		g.SwitchCounts = DefaultSwitchCounts
+	}
+	if len(g.Policies) == 0 {
+		g.Policies = []string{"smallest"}
+	}
+	if len(g.Seeds) == 0 {
+		g.Seeds = []int64{0}
+	}
+	return g
+}
+
+// Jobs enumerates the grid's cross product in deterministic order:
+// benchmark-major, then switch count, policy, seed.
+func (g Grid) Jobs() []Job {
+	g = g.normalized()
+	out := make([]Job, 0, len(g.Benchmarks)*len(g.SwitchCounts)*len(g.Policies)*len(g.Seeds))
+	for _, b := range g.Benchmarks {
+		for _, s := range g.SwitchCounts {
+			for _, p := range g.Policies {
+				for _, seed := range g.Seeds {
+					out = append(out, Job{Benchmark: b, SwitchCount: s, Policy: p, Seed: seed})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Validate resolves every benchmark spec and policy name, failing fast on
+// typos before any work is scheduled.
+func (g Grid) Validate() error {
+	n := g.normalized()
+	for _, b := range n.Benchmarks {
+		if _, err := resolveBenchmark(b, 0); err != nil {
+			return err
+		}
+	}
+	for _, p := range n.Policies {
+		if _, err := ParsePolicy(p); err != nil {
+			return err
+		}
+	}
+	if len(n.SwitchCounts) == 0 {
+		return fmt.Errorf("runner: empty switch-count axis")
+	}
+	for _, s := range n.SwitchCounts {
+		if s < 1 {
+			return fmt.Errorf("runner: switch count %d out of range", s)
+		}
+	}
+	return nil
+}
+
+// Job is one point of the grid.
+type Job struct {
+	Benchmark   string `json:"benchmark"`
+	SwitchCount int    `json:"switch_count"`
+	Policy      string `json:"policy"`
+	Seed        int64  `json:"seed"`
+}
+
+// Result is one evaluated job. Wall-clock timings are carried for
+// progress/summary output but excluded from JSON so reports are
+// byte-identical across serial and parallel runs.
+type Result struct {
+	Job
+	// Skipped means the switch count exceeds the benchmark's core count
+	// (the sweep convention of Figures 8 and 9).
+	Skipped bool `json:"skipped,omitempty"`
+	// Error carries a per-job failure without aborting the sweep.
+	Error string `json:"error,omitempty"`
+
+	Cores          int  `json:"cores,omitempty"`
+	Links          int  `json:"links,omitempty"`
+	MaxRouteLen    int  `json:"max_route_len,omitempty"`
+	InitialAcyclic bool `json:"initial_acyclic,omitempty"`
+	RemovalVCs     int  `json:"removal_vcs"`
+	OrderingVCs    int  `json:"ordering_vcs"`
+	Breaks         int  `json:"breaks"`
+
+	RemovalTime time.Duration `json:"-"`
+}
+
+// Report is a completed sweep: the normalized grid plus one result per
+// job, in Grid.Jobs order regardless of scheduling.
+type Report struct {
+	Grid    Grid     `json:"grid"`
+	Results []Result `json:"results"`
+}
+
+// WriteJSON writes the report as indented JSON. The output is a pure
+// function of the grid and the algorithm — timings and worker scheduling
+// never appear in it.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Options configures a sweep run.
+type Options struct {
+	// Parallel is the worker count; values below 2 run serially.
+	Parallel int
+	// FullRebuild routes every Remove through the rebuild-per-iteration
+	// path (for baseline comparisons).
+	FullRebuild bool
+	// Progress, when non-nil, receives one line per completed job.
+	Progress io.Writer
+}
+
+// Run executes every job of the grid and returns the aggregated report.
+// Job failures are recorded per-result; Run itself only fails on an
+// invalid grid.
+func Run(grid Grid, opts Options) (*Report, error) {
+	if err := grid.Validate(); err != nil {
+		return nil, err
+	}
+	grid = grid.normalized()
+	jobs := grid.Jobs()
+	results := make([]Result, len(jobs))
+
+	workers := opts.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		progress sync.Mutex
+		done     int
+	)
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runJob(jobs[i], opts)
+				if opts.Progress != nil {
+					// Counter increment and print share the mutex so the
+					// n/total labels stay monotonic on the stream.
+					progress.Lock()
+					done++
+					fmt.Fprintf(opts.Progress, "sweep %d/%d: %s\n", done, len(jobs), results[i].oneLine())
+					progress.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return &Report{Grid: grid, Results: results}, nil
+}
+
+// runJob evaluates one grid point. All failure modes are folded into the
+// result so one bad point cannot sink a long sweep.
+func runJob(job Job, opts Options) Result {
+	res := Result{Job: job}
+	g, err := resolveBenchmark(job.Benchmark, job.Seed)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.Cores = g.NumCores()
+	if job.SwitchCount > g.NumCores() {
+		res.Skipped = true
+		return res
+	}
+	policy, err := ParsePolicy(job.Policy)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	p, err := Evaluate(g, job.SwitchCount, EvalOptions{Selection: policy, FullRebuild: opts.FullRebuild})
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.Links = p.Links
+	res.MaxRouteLen = p.MaxRouteLen
+	res.InitialAcyclic = p.InitialAcyclic
+	res.RemovalVCs = p.RemovalVCs
+	res.OrderingVCs = p.OrderingVCs
+	res.Breaks = p.Breaks
+	res.RemovalTime = p.RemovalTime
+	return res
+}
+
+func (r Result) oneLine() string {
+	id := fmt.Sprintf("%s@%d/%s/seed%d", r.Benchmark, r.SwitchCount, r.Policy, r.Seed)
+	switch {
+	case r.Error != "":
+		return id + " ERROR " + r.Error
+	case r.Skipped:
+		return id + " skipped (switches > cores)"
+	default:
+		return fmt.Sprintf("%s removal=%d ordering=%d breaks=%d in %v",
+			id, r.RemovalVCs, r.OrderingVCs, r.Breaks, r.RemovalTime.Round(time.Microsecond))
+	}
+}
+
+// ParsePolicy maps a policy spec to the core selection constant.
+func ParsePolicy(s string) (core.CycleSelection, error) {
+	switch s {
+	case "", "smallest":
+		return core.SmallestFirst, nil
+	case "first":
+		return core.FirstFound, nil
+	}
+	return 0, fmt.Errorf("runner: unknown selection policy %q (valid: smallest, first)", s)
+}
+
+var randSpec = regexp.MustCompile(`^rand:(\d+)x(\d+)$`)
+
+// resolveBenchmark turns a benchmark spec into a traffic graph: a paper
+// benchmark by name, or "rand:<cores>x<fanout>" seeded by the job's seed.
+func resolveBenchmark(spec string, seed int64) (*traffic.Graph, error) {
+	if m := randSpec.FindStringSubmatch(spec); m != nil {
+		cores, _ := strconv.Atoi(m[1])
+		fanout, _ := strconv.Atoi(m[2])
+		if cores < 2 || fanout < 1 || fanout >= cores {
+			return nil, fmt.Errorf("runner: rand spec %q out of range (need 2 ≤ cores, 1 ≤ fanout < cores)", spec)
+		}
+		name := fmt.Sprintf("%s#%d", spec, seed)
+		return traffic.RandomKOut(name, cores, fanout, seed), nil
+	}
+	return traffic.ByName(spec)
+}

@@ -1,0 +1,176 @@
+package runner
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+
+	"github.com/nocdr/nocdr/internal/traffic"
+)
+
+// TestParallelMatchesSerialJSON is the determinism-under-concurrency
+// check of the sweep engine: the full six-benchmark grid run serially and
+// with a pool of workers must serialize to byte-identical JSON. Run under
+// -race (as CI does) this also shakes out data races in the fan-out.
+func TestParallelMatchesSerialJSON(t *testing.T) {
+	grid := Grid{
+		Benchmarks:   traffic.BenchmarkNames(),
+		SwitchCounts: []int{8, 11, 14, 20},
+		Policies:     []string{"smallest", "first"},
+	}
+	serial, err := Run(grid, Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(grid, Options{Parallel: 2 * runtime.NumCPU()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := serial.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("serial and parallel sweeps differ:\nserial:\n%s\nparallel:\n%s", a.String(), b.String())
+	}
+	for _, r := range serial.Results {
+		if r.Error != "" {
+			t.Errorf("job %s@%d failed: %s", r.Benchmark, r.SwitchCount, r.Error)
+		}
+	}
+}
+
+// TestRunRepeatedRunsIdentical pins run-to-run determinism with the same
+// worker count — the property the experiment layer inherits from the
+// deterministic removal algorithm.
+func TestRunRepeatedRunsIdentical(t *testing.T) {
+	grid := Grid{Benchmarks: []string{"D26_media"}, SwitchCounts: []int{8, 14}}
+	var first bytes.Buffer
+	for i := 0; i < 3; i++ {
+		rep, err := Run(grid, Options{Parallel: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = buf
+			continue
+		}
+		if !bytes.Equal(first.Bytes(), buf.Bytes()) {
+			t.Fatalf("run %d differs from run 0", i)
+		}
+	}
+}
+
+// TestFullRebuildMatchesIncrementalSweep runs the same grid through both
+// Remove paths: the reported VC counts and break counts must agree.
+func TestFullRebuildMatchesIncrementalSweep(t *testing.T) {
+	grid := Grid{
+		Benchmarks:   traffic.BenchmarkNames(),
+		SwitchCounts: []int{10, 14},
+	}
+	inc, err := Run(grid, Options{Parallel: runtime.NumCPU()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(grid, Options{Parallel: runtime.NumCPU(), FullRebuild: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inc.Results {
+		a, b := inc.Results[i], full.Results[i]
+		if a.RemovalVCs != b.RemovalVCs || a.Breaks != b.Breaks || a.OrderingVCs != b.OrderingVCs {
+			t.Errorf("%s@%d: incremental removal=%d/breaks=%d, full rebuild removal=%d/breaks=%d",
+				a.Benchmark, a.SwitchCount, a.RemovalVCs, a.Breaks, b.RemovalVCs, b.Breaks)
+		}
+	}
+}
+
+func TestGridJobsOrderAndDefaults(t *testing.T) {
+	jobs := Grid{}.Jobs()
+	want := len(traffic.BenchmarkNames()) * len(DefaultSwitchCounts)
+	if len(jobs) != want {
+		t.Fatalf("default grid has %d jobs, want %d", len(jobs), want)
+	}
+	if jobs[0].Benchmark != "D26_media" || jobs[0].SwitchCount != DefaultSwitchCounts[0] {
+		t.Errorf("unexpected first job %+v", jobs[0])
+	}
+	g := Grid{Benchmarks: []string{"a", "b"}, SwitchCounts: []int{1, 2}, Policies: []string{"p"}, Seeds: []int64{0, 1}}
+	jobs = g.Jobs()
+	if len(jobs) != 8 {
+		t.Fatalf("cross product has %d jobs, want 8", len(jobs))
+	}
+	// Benchmark-major, then switch count, then seed.
+	if jobs[1].Seed != 1 || jobs[2].SwitchCount != 2 || jobs[4].Benchmark != "b" {
+		t.Errorf("unexpected job order: %+v", jobs[:5])
+	}
+}
+
+func TestGridValidate(t *testing.T) {
+	if err := (Grid{Benchmarks: []string{"nope"}}).Validate(); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if err := (Grid{Policies: []string{"loudest"}}).Validate(); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := (Grid{SwitchCounts: []int{0}}).Validate(); err == nil {
+		t.Error("zero switch count accepted")
+	}
+	if err := (Grid{Benchmarks: []string{"rand:8x3"}, SwitchCounts: []int{4}}).Validate(); err != nil {
+		t.Errorf("rand spec rejected: %v", err)
+	}
+	if err := (Grid{Benchmarks: []string{"rand:2x5"}}).Validate(); err == nil {
+		t.Error("out-of-range rand spec accepted")
+	}
+}
+
+// TestRandomSpecSweep exercises the scenario axis beyond the paper's six
+// benchmarks: random k-out graphs instantiated per seed.
+func TestRandomSpecSweep(t *testing.T) {
+	grid := Grid{
+		Benchmarks:   []string{"rand:24x4"},
+		SwitchCounts: []int{8, 12},
+		Seeds:        []int64{1, 2, 3},
+	}
+	rep, err := Run(grid, Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 6 {
+		t.Fatalf("got %d results, want 6", len(rep.Results))
+	}
+	distinct := false
+	for _, r := range rep.Results {
+		if r.Error != "" {
+			t.Fatalf("job %+v failed: %s", r.Job, r.Error)
+		}
+		if r.RemovalVCs != rep.Results[0].RemovalVCs {
+			distinct = true
+		}
+	}
+	_ = distinct // seeds may coincide in cost; the point is they all ran
+}
+
+// TestSkippedAndProgress covers the switches-exceed-cores convention and
+// the progress stream.
+func TestSkippedAndProgress(t *testing.T) {
+	var progress strings.Builder
+	grid := Grid{Benchmarks: []string{"D26_media"}, SwitchCounts: []int{14, 99}}
+	rep, err := Run(grid, Options{Progress: &progress})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Results[1].Skipped {
+		t.Error("99-switch job on a 26-core benchmark not skipped")
+	}
+	if got := strings.Count(progress.String(), "\n"); got != 2 {
+		t.Errorf("progress stream has %d lines, want 2:\n%s", got, progress.String())
+	}
+}

@@ -1,0 +1,44 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// WriteTable renders a sweep report as an aligned text table, one row per
+// job in grid order, followed by a one-line total.
+func WriteTable(w io.Writer, rep *Report) error {
+	title := fmt.Sprintf("Sweep: %d benchmarks × %d switch counts × %d policies × %d seeds",
+		len(rep.Grid.Benchmarks), len(rep.Grid.SwitchCounts), len(rep.Grid.Policies), len(rep.Grid.Seeds))
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tswitches\tpolicy\tseed\tlinks\tremoval VCs\tordering VCs\tbreaks\truntime\tstatus")
+	var total time.Duration
+	errors := 0
+	for _, r := range rep.Results {
+		status := "ok"
+		switch {
+		case r.Error != "":
+			status = "ERROR: " + r.Error
+			errors++
+		case r.Skipped:
+			status = "skipped"
+		case r.InitialAcyclic:
+			status = "already acyclic"
+		}
+		total += r.RemovalTime
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
+			r.Benchmark, r.SwitchCount, r.Policy, r.Seed, r.Links,
+			r.RemovalVCs, r.OrderingVCs, r.Breaks,
+			r.RemovalTime.Round(10*time.Microsecond), status)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\n%d jobs, %d errors, total removal time %v\n",
+		len(rep.Results), errors, total.Round(time.Millisecond))
+	return err
+}

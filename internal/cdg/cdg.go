@@ -63,10 +63,26 @@ func Build(top *topology.Topology, table *route.Table) (*CDG, error) {
 		for i := 0; i+1 < len(r.Channels); i++ {
 			from := c.index[r.Channels[i]]
 			to := c.index[r.Channels[i+1]]
-			c.g.AddEdge(from, to)
 			key := [2]int{from, to}
 			c.edgeFlows[key] = append(c.edgeFlows[key], r.FlowID)
 		}
+	}
+	// Insert edges in sorted (from, to) order so adjacency lists — and with
+	// them every cycle search — depend only on the edge set, never on route
+	// scan order. This keeps Build interchangeable with the Incremental CDG,
+	// whose edges come and go in break order.
+	keys := make([][2]int, 0, len(c.edgeFlows))
+	for key := range c.edgeFlows {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, key := range keys {
+		c.g.AddEdge(key[0], key[1])
 	}
 	for _, flows := range c.edgeFlows {
 		sort.Ints(flows)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/nocdr/nocdr/internal/cdg"
 	"github.com/nocdr/nocdr/internal/route"
 	"github.com/nocdr/nocdr/internal/topology"
 )
@@ -25,8 +26,12 @@ type BreakRecord struct {
 // shared among the rerouted flows, which is what makes the paper's cost —
 // the maximum chain length over those flows — the number of channels
 // added in the common (chord-free) case.
+//
+// The returned reroutes pair each moved flow's old and new channel
+// sequence so the caller can maintain an incremental CDG without
+// rescanning the route table.
 func breakCycle(top *topology.Topology, tab *route.Table, cycle []topology.Channel,
-	edge int, dir Direction, cost int) (*BreakRecord, error) {
+	edge int, dir Direction, cost int) (*BreakRecord, []cdg.Reroute, error) {
 
 	n := len(cycle)
 	from, to := cycle[edge], cycle[(edge+1)%n]
@@ -53,7 +58,7 @@ func breakCycle(top *topology.Topology, tab *route.Table, cycle []topology.Chann
 		}
 	}
 	if len(chains) == 0 {
-		return nil, fmt.Errorf("core: dependency %v→%v not created by any flow", from, to)
+		return nil, nil, fmt.Errorf("core: dependency %v→%v not created by any flow", from, to)
 	}
 
 	// Duplicate each distinct chain channel once; rerouted flows share the
@@ -75,20 +80,23 @@ func breakCycle(top *topology.Topology, tab *route.Table, cycle []topology.Chann
 			}
 			vc, err := top.AddVC(ch.Link)
 			if err != nil {
-				return nil, fmt.Errorf("core: duplicating %v: %w", ch, err)
+				return nil, nil, fmt.Errorf("core: duplicating %v: %w", ch, err)
 			}
 			dup[ch] = topology.Chan(ch.Link, vc)
 			rec.NewChannels = append(rec.NewChannels, dup[ch])
 		}
 	}
+	reroutes := make([]cdg.Reroute, 0, len(chains))
 	for _, c := range chains {
 		r := tab.Route(c.flowID)
+		old := append([]topology.Channel(nil), r.Channels...)
 		channels := append([]topology.Channel(nil), r.Channels...)
 		for i := c.lo; i <= c.hi; i++ {
 			channels[i] = dup[channels[i]]
 		}
 		tab.Set(c.flowID, channels)
 		rec.Reroutes = append(rec.Reroutes, c.flowID)
+		reroutes = append(reroutes, cdg.Reroute{FlowID: c.flowID, Old: old, New: channels})
 	}
-	return rec, nil
+	return rec, reroutes, nil
 }

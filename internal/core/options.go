@@ -75,6 +75,13 @@ type Options struct {
 	// Selection selects the next cycle to break; zero value is
 	// SmallestFirst.
 	Selection CycleSelection
+	// FullRebuild forces the original Algorithm 1 loop that rebuilds the
+	// whole CDG and re-runs the global cycle search on every break. The
+	// default (false) maintains the CDG incrementally across breaks and
+	// restricts cycle re-search to the affected strongly connected
+	// component — same results, measurably faster; the rebuild path is
+	// kept for differential testing and benchmarking.
+	FullRebuild bool
 }
 
 func (o Options) maxIterations() int {

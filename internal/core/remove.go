@@ -31,6 +31,13 @@ type Result struct {
 // directions, adding VCs and rerouting flows. On success the returned
 // topology/routes have an acyclic CDG.
 //
+// By default the CDG is maintained incrementally across breaks: each
+// break's channel duplications and flow reroutes are applied as localized
+// edge updates, and cycle re-search is restricted to the strongly
+// connected components those updates touched. Options.FullRebuild selects
+// the original rebuild-per-iteration loop instead; both paths select the
+// same cycles and produce identical results (see the differential tests).
+//
 // The inputs are not modified. Remove fails if a cycle edge cannot be
 // attributed to a flow (inconsistent inputs) or if opts.MaxIterations is
 // exceeded (never observed on the paper's benchmark family; the bound
@@ -40,7 +47,15 @@ func Remove(top *topology.Topology, tab *route.Table, opts Options) (*Result, er
 		Topology: top.Clone(),
 		Routes:   tab.Clone(),
 	}
-	maxIter := opts.maxIterations()
+	if opts.FullRebuild {
+		return removeFullRebuild(res, opts)
+	}
+	return removeIncremental(res, opts)
+}
+
+// removeFullRebuild is the original Algorithm 1 loop: full cdg.Build plus
+// global cycle search on every iteration.
+func removeFullRebuild(res *Result, opts Options) (*Result, error) {
 	for {
 		g, err := cdg.Build(res.Topology, res.Routes)
 		if err != nil {
@@ -51,29 +66,66 @@ func Remove(top *topology.Topology, tab *route.Table, opts Options) (*Result, er
 			res.InitialAcyclic = res.Iterations == 0
 			return res, nil
 		}
-		if len(cycle) < 2 {
-			return nil, fmt.Errorf("core: degenerate self-dependency on channel %v (route repeats a channel?)", cycle)
-		}
-		if res.Iterations >= maxIter {
-			return nil, fmt.Errorf("core: cycle remains after %d breaks (MaxIterations reached)", res.Iterations)
-		}
-
-		dir, ct, err := chooseBreak(cycle, res.Routes, opts.Policy)
-		if err != nil {
+		if err := res.applyBreak(cycle, opts, nil); err != nil {
 			return nil, err
 		}
-		rec, err := breakCycle(res.Topology, res.Routes, cycle, ct.BestEdge, dir, ct.BestCost)
-		if err != nil {
-			return nil, err
-		}
-		res.Breaks = append(res.Breaks, *rec)
-		res.AddedVCs += len(rec.NewChannels)
-		res.Iterations++
 	}
 }
 
+// removeIncremental is the hot path: one CDG built up front, then each
+// break applied as localized edge updates with SCC-restricted re-search.
+func removeIncremental(res *Result, opts Options) (*Result, error) {
+	m, err := cdg.BuildIncremental(res.Topology, res.Routes)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		cycle := selectCycleIncremental(m, opts.Selection)
+		if cycle == nil {
+			res.InitialAcyclic = res.Iterations == 0
+			return res, nil
+		}
+		if err := res.applyBreak(cycle, opts, m); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// applyBreak executes one Algorithm 1 loop trip on an already-selected
+// cycle: choose the break, perform it, record it, and (when maintaining an
+// incremental CDG) apply the resulting reroutes as edge updates.
+func (res *Result) applyBreak(cycle []topology.Channel, opts Options, m *cdg.Incremental) error {
+	if len(cycle) < 2 {
+		return fmt.Errorf("core: degenerate self-dependency on channel %v (route repeats a channel?)", cycle)
+	}
+	if res.Iterations >= opts.maxIterations() {
+		return fmt.Errorf("core: cycle remains after %d breaks (MaxIterations reached)", res.Iterations)
+	}
+	dir, ct, err := chooseBreak(cycle, res.Routes, opts.Policy)
+	if err != nil {
+		return err
+	}
+	rec, reroutes, err := breakCycle(res.Topology, res.Routes, cycle, ct.BestEdge, dir, ct.BestCost)
+	if err != nil {
+		return err
+	}
+	if m != nil {
+		for _, rr := range reroutes {
+			if err := m.ApplyReroute(rr); err != nil {
+				return err
+			}
+		}
+	}
+	res.Breaks = append(res.Breaks, *rec)
+	res.AddedVCs += len(rec.NewChannels)
+	res.Iterations++
+	return nil
+}
+
 // selectCycle returns the next cycle to break under the given policy, or
-// nil if the CDG is acyclic.
+// nil if the CDG is acyclic. selectCycleIncremental is its mirror for the
+// incremental CDG: a new CycleSelection must be handled in both so the
+// two Remove paths keep picking identical cycles.
 func selectCycle(g *cdg.CDG, sel CycleSelection) []topology.Channel {
 	switch sel {
 	case FirstFound:
@@ -90,6 +142,17 @@ func selectCycle(g *cdg.CDG, sel CycleSelection) []topology.Channel {
 		return g.SmallestCycleThrough(cyclic[0])
 	default:
 		return g.SmallestCycle()
+	}
+}
+
+// selectCycleIncremental mirrors selectCycle over the incremental CDG;
+// keep the two policy switches in sync.
+func selectCycleIncremental(m *cdg.Incremental, sel CycleSelection) []topology.Channel {
+	switch sel {
+	case FirstFound:
+		return m.SmallestCycleThroughFirstCyclic()
+	default:
+		return m.SmallestCycle()
 	}
 }
 

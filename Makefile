@@ -2,8 +2,10 @@
 # these targets, so a green `make ci` locally means a green pipeline.
 
 GO ?= go
+# Output file for the pinned regression benchmarks (bench-pin).
+BENCH_OUT ?= bench-pin.txt
 
-.PHONY: build test race bench fmt vet fuzz-smoke examples ci
+.PHONY: build test race bench bench-pin fmt vet lint fuzz-smoke sweep-smoke examples ci
 
 build:
 	$(GO) build ./...
@@ -19,6 +21,13 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
+# The pinned perf-gate benchmarks: simulator hot loop and removal runtime,
+# repeated so benchstat can establish significance. CI runs this on the PR
+# head and base and fails on a >15% sec/op regression.
+bench-pin:
+	$(GO) test -run='^$$' -bench='^(BenchmarkSimStep$$|BenchmarkRemoval_)' \
+		-count=6 -benchtime=0.5s . | tee $(BENCH_OUT)
+
 fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
@@ -27,6 +36,23 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis. CI installs staticcheck and fails on findings; local
+# runs skip gracefully when the binary is absent (the container image may
+# have no network to install it).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# Simulated verification sweep on one benchmark with two seeds; CI asserts
+# zero post-removal deadlocks in the JSON report. The sweep itself exits
+# nonzero if any post-removal design deadlocks.
+sweep-smoke:
+	$(GO) run ./cmd/nocexp sweep -simulate -benchmarks D26_media,torus:4x4:uniform \
+		-switches 8,14 -seeds 0,1 -quiet -json sweep-report.json
 
 # Ten seconds per fuzz target across every package that defines one.
 fuzz-smoke:
@@ -41,4 +67,4 @@ fuzz-smoke:
 examples:
 	$(GO) build ./examples/...
 
-ci: build vet fmt race examples
+ci: build vet fmt lint race examples sweep-smoke

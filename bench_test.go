@@ -149,6 +149,60 @@ func BenchmarkRemoval_D36_8(b *testing.B)    { benchRemoval(b, "D36_8", 14) }
 func BenchmarkRemoval_D35Bot(b *testing.B)   { benchRemoval(b, "D35_bot", 14) }
 func BenchmarkRemoval_D38TVO(b *testing.B)   { benchRemoval(b, "D38_tvo", 14) }
 
+// --- Simulator hot loop: steady-state Step cost on the six paper
+// benchmarks after removal, at saturation load. BenchmarkSimStep runs the
+// dense/worklist engine; BenchmarkSimStepMapBaseline runs the same
+// workload through the Reference arbitration path (full channel scan +
+// map-based next-hop resolution + per-link map grouping — the seed
+// engine's cost profile). Both paths decide identical moves, so the ratio
+// is a pure hot-loop speedup. The perf-regression CI job pins
+// BenchmarkSimStep with benchstat. ---
+
+func benchSimStep(b *testing.B, name string, reference bool) {
+	g, err := traffic.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	des, err := synth.Synthesize(g, synth.Options{SwitchCount: 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rm, err := nocdr.RemoveDeadlocks(des.Topology, des.Routes, nocdr.RemovalOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := nocdr.NewSimulator(rm.Topology, g, rm.Routes, nocdr.SimConfig{
+		MaxCycles:  1 << 62,
+		LoadFactor: 0.1,
+		Seed:       11,
+		Reference:  reference,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the network into steady state before timing.
+	for i := 0; i < 2000; i++ {
+		sim.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step()
+	}
+}
+
+func BenchmarkSimStep(b *testing.B) {
+	for _, name := range traffic.BenchmarkNames() {
+		b.Run(name, func(b *testing.B) { benchSimStep(b, name, false) })
+	}
+}
+
+func BenchmarkSimStepMapBaseline(b *testing.B) {
+	for _, name := range traffic.BenchmarkNames() {
+		b.Run(name, func(b *testing.B) { benchSimStep(b, name, true) })
+	}
+}
+
 // --- E11: simulation validation (cycles simulated per second, and the
 // deadlock outcome as a metric: 1 = deadlocked). ---
 

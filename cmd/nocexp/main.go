@@ -18,6 +18,8 @@
 //	nocexp sweep                              # all six benchmarks, default axes
 //	nocexp sweep -parallel 8 -json out.json   # fan out, write JSON report
 //	nocexp sweep -benchmarks rand:64x6 -seeds 1,2,3 -switches 16,24,32
+//	nocexp sweep -simulate                    # + flit-level verification per cell
+//	nocexp sweep -simulate -benchmarks torus:8x8:transpose,mesh:4x4:bitrev
 package main
 
 import (

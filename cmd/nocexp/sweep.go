@@ -28,6 +28,10 @@ func runSweep(args []string, stdout, stderr io.Writer) error {
 	parallel := fs.Int("parallel", runtime.NumCPU(), "worker count (1 = serial)")
 	jsonOut := fs.String("json", "", "write the deterministic JSON report to this file")
 	fullRebuild := fs.Bool("full-rebuild", false, "use the full-rebuild Remove path instead of the incremental one")
+	simulate := fs.Bool("simulate", false,
+		"run flit-level wormhole simulations per cell: a pre-removal negative control (must deadlock when the CDG is cyclic) and a post-removal measurement (must never deadlock); a post-removal deadlock fails the sweep")
+	simCycles := fs.Int64("sim-cycles", 0, "simulation horizon per run (default 20000)")
+	simLoad := fs.Float64("sim-load", 0, "simulation injection load factor in (0,1] (default 1.0 = saturation)")
 	quiet := fs.Bool("quiet", false, "suppress per-job progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -53,7 +57,12 @@ func runSweep(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-seeds: %w", err)
 	}
 
-	opts := runner.Options{Parallel: *parallel, FullRebuild: *fullRebuild}
+	opts := runner.Options{
+		Parallel:    *parallel,
+		FullRebuild: *fullRebuild,
+		Simulate:    *simulate,
+		Sim:         runner.SimParams{Cycles: *simCycles, Load: *simLoad},
+	}
 	if !*quiet {
 		opts.Progress = stderr
 	}
@@ -63,6 +72,11 @@ func runSweep(args []string, stdout, stderr io.Writer) error {
 	}
 	if err := runner.WriteTable(stdout, rep); err != nil {
 		return err
+	}
+	if *simulate {
+		if err := writeSimSummary(stdout, rep); err != nil {
+			return err
+		}
 	}
 	if *jsonOut != "" {
 		f, err := os.Create(*jsonOut)
@@ -83,7 +97,41 @@ func runSweep(args []string, stdout, stderr io.Writer) error {
 				countErrors(rep), len(rep.Results), r.Benchmark, r.SwitchCount, r.Error)
 		}
 	}
+	if *simulate {
+		for _, r := range rep.Results {
+			if r.Sim != nil && r.Sim.PostDeadlock {
+				return fmt.Errorf("verification FAILED: %s@%d/seed%d deadlocked after removal",
+					r.Benchmark, r.SwitchCount, r.Seed)
+			}
+		}
+	}
 	return nil
+}
+
+// writeSimSummary prints the verification verdict of a simulated sweep:
+// how many cells ran their negative control, how many of those deadlocked
+// (demonstrating the hazard), and whether any post-removal design
+// deadlocked (which must never happen).
+func writeSimSummary(w io.Writer, rep *runner.Report) error {
+	var simulated, preRan, preDeadlocked, postDeadlocked int
+	for _, r := range rep.Results {
+		if r.Sim == nil {
+			continue
+		}
+		simulated++
+		if r.Sim.PreRan {
+			preRan++
+		}
+		if r.Sim.PreDeadlock {
+			preDeadlocked++
+		}
+		if r.Sim.PostDeadlock {
+			postDeadlocked++
+		}
+	}
+	_, err := fmt.Fprintf(w, "\nverification: %d cells simulated; negative control: %d cyclic pre-removal designs, %d deadlocked; post-removal deadlocks: %d\n",
+		simulated, preRan, preDeadlocked, postDeadlocked)
+	return err
 }
 
 func countErrors(rep *runner.Report) int {

@@ -65,6 +65,47 @@ func TestSweepRandSpecAndFullRebuild(t *testing.T) {
 	}
 }
 
+func TestSweepSimulate(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "sim.json")
+	var out bytes.Buffer
+	err := runSweep([]string{"-simulate", "-benchmarks", "D26_media,torus:4x4:uniform",
+		"-switches", "8", "-seeds", "0,1", "-quiet", "-json", jsonPath}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sim", "verification:", "post-removal deadlocks: 0"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("simulated sweep output missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"post_deadlock\": false") {
+		t.Error("JSON report missing sim results")
+	}
+	if strings.Contains(string(data), "\"post_deadlock\": true") {
+		t.Error("JSON report contains a post-removal deadlock")
+	}
+	// The torus negative control must demonstrate the hazard.
+	if !strings.Contains(string(data), "\"pre_deadlock\": true") {
+		t.Error("no negative-control deadlock in JSON report")
+	}
+}
+
+func TestSweepWithoutSimulateHasNoSimBlock(t *testing.T) {
+	var out bytes.Buffer
+	err := runSweep([]string{"-benchmarks", "D26_media", "-switches", "8", "-quiet"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "verification:") {
+		t.Error("verification summary printed without -simulate")
+	}
+}
+
 func TestSweepRejectsBadFlags(t *testing.T) {
 	if err := runSweep([]string{"-benchmarks", "no_such"}, io.Discard, io.Discard); err == nil {
 		t.Error("unknown benchmark accepted")

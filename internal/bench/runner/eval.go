@@ -6,7 +6,10 @@ import (
 
 	"github.com/nocdr/nocdr/internal/core"
 	"github.com/nocdr/nocdr/internal/ordering"
+	"github.com/nocdr/nocdr/internal/regular"
+	"github.com/nocdr/nocdr/internal/route"
 	"github.com/nocdr/nocdr/internal/synth"
+	"github.com/nocdr/nocdr/internal/topology"
 	"github.com/nocdr/nocdr/internal/traffic"
 )
 
@@ -15,6 +18,11 @@ type EvalOptions struct {
 	Selection   core.CycleSelection
 	Policy      core.DirectionPolicy
 	FullRebuild bool
+	// Simulate runs the flit-level verification stage (see SimEval) on
+	// the evaluated design, filling Point.Sim.
+	Simulate bool
+	// Sim parameterizes the simulations when Simulate is set.
+	Sim SimParams
 }
 
 // Point is the outcome of evaluating one (traffic graph, switch count)
@@ -29,36 +37,68 @@ type Point struct {
 	OrderingVCs    int
 	Breaks         int
 	RemovalTime    time.Duration
+	// Sim holds the flit-level verification outcome (nil unless
+	// EvalOptions.Simulate was set).
+	Sim *SimResult
 }
 
 // Evaluate synthesizes an application-specific topology for the graph at
 // the given switch count, runs deadlock removal and the resource-ordering
-// baseline, and reports both VC overheads.
+// baseline, and reports both VC overheads — plus, with opts.Simulate, the
+// flit-level verification of the pre- and post-removal designs.
 func Evaluate(g *traffic.Graph, switchCount int, opts EvalOptions) (Point, error) {
 	var p Point
 	des, err := synth.Synthesize(g, synth.Options{SwitchCount: switchCount})
 	if err != nil {
 		return p, fmt.Errorf("runner: synthesize %s @ %d: %w", g.Name, switchCount, err)
 	}
+	return finishEval(g, des.Topology, des.Routes, opts, fmt.Sprintf("%s @ %d", g.Name, switchCount))
+}
+
+// EvaluateRegular evaluates a regular-topology preset: a mesh or torus
+// with dimension-ordered routes, the configuration whose wrap-around
+// dependencies are the textbook dateline deadlock. The removal algorithm
+// and the ordering baseline run on the DOR routes directly — there is no
+// synthesis step, so the preset carries its own switch count.
+func EvaluateRegular(grid *regular.Grid, g *traffic.Graph, opts EvalOptions) (Point, error) {
+	var p Point
+	tab, err := regular.DORRoutes(grid, g)
+	if err != nil {
+		return p, fmt.Errorf("runner: DOR routes for %s: %w", grid.Topology.Name, err)
+	}
+	return finishEval(g, grid.Topology, tab, opts, grid.Topology.Name)
+}
+
+// finishEval runs removal, the ordering baseline, and the optional
+// simulation stage on a fully routed design.
+func finishEval(g *traffic.Graph, top *topology.Topology, tab *route.Table, opts EvalOptions, label string) (Point, error) {
+	var p Point
 	start := time.Now()
-	rm, err := core.Remove(des.Topology, des.Routes, core.Options{
+	rm, err := core.Remove(top, tab, core.Options{
 		Selection:   opts.Selection,
 		Policy:      opts.Policy,
 		FullRebuild: opts.FullRebuild,
 	})
 	if err != nil {
-		return p, fmt.Errorf("runner: remove %s @ %d: %w", g.Name, switchCount, err)
+		return p, fmt.Errorf("runner: remove %s: %w", label, err)
 	}
 	p.RemovalTime = time.Since(start)
-	ro, err := ordering.Apply(des.Topology, des.Routes, ordering.HopIndex)
+	ro, err := ordering.Apply(top, tab, ordering.HopIndex)
 	if err != nil {
-		return p, fmt.Errorf("runner: ordering %s @ %d: %w", g.Name, switchCount, err)
+		return p, fmt.Errorf("runner: ordering %s: %w", label, err)
 	}
-	p.Links = des.Topology.NumLinks()
-	p.MaxRouteLen = des.Routes.MaxLen()
+	p.Links = top.NumLinks()
+	p.MaxRouteLen = tab.MaxLen()
 	p.InitialAcyclic = rm.InitialAcyclic
 	p.RemovalVCs = rm.AddedVCs
 	p.OrderingVCs = ro.AddedVCs
 	p.Breaks = rm.Iterations
+	if opts.Simulate {
+		sim, err := SimEval(g, top, tab, rm.InitialAcyclic, rm.Topology, rm.Routes, opts.Sim)
+		if err != nil {
+			return p, err
+		}
+		p.Sim = sim
+	}
 	return p, nil
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/nocdr/nocdr/internal/core"
+	"github.com/nocdr/nocdr/internal/regular"
 	"github.com/nocdr/nocdr/internal/traffic"
 )
 
@@ -25,9 +26,25 @@ import (
 // paper's defaults (all six benchmarks, the Figure 10 family of switch
 // counts, the paper's smallest-first selection, seed 0).
 type Grid struct {
-	// Benchmarks are benchmark specs: a name from traffic.BenchmarkNames,
-	// or "rand:<cores>x<fanout>" for a synthetic random k-out traffic
-	// graph whose instance is picked by the job's seed.
+	// Benchmarks are benchmark specs. Synthesized specs (the switch-count
+	// axis applies):
+	//
+	//	<name>                a paper benchmark from traffic.BenchmarkNames
+	//	rand:<cores>x<fanout> seeded random k-out traffic
+	//	transpose:<cores>     matrix-transpose permutation (square count)
+	//	bitrev:<cores>        bit-reversal permutation (power of two)
+	//	hotspot:<cores>x<h>   h shared hotspot targets
+	//
+	// Regular-topology presets carry their own topology and
+	// dimension-ordered routes, so they ignore the switch-count axis and
+	// run once per (policy, seed):
+	//
+	//	mesh:<cols>x<rows>:<pattern>
+	//	torus:<cols>x<rows>:<pattern>
+	//
+	// with <pattern> one of transpose, bitrev, hotspot, uniform. The
+	// torus presets are the textbook dateline stress: DOR routes cross
+	// the wrap-around links, so the initial CDG is cyclic.
 	Benchmarks []string `json:"benchmarks"`
 	// SwitchCounts is the synthesis sweep axis (Figures 8 and 9).
 	SwitchCounts []int `json:"switch_counts"`
@@ -59,12 +76,18 @@ func (g Grid) normalized() Grid {
 }
 
 // Jobs enumerates the grid's cross product in deterministic order:
-// benchmark-major, then switch count, policy, seed.
+// benchmark-major, then switch count, policy, seed. Regular-topology
+// presets pin their own switch count, so they cross only with policies
+// and seeds.
 func (g Grid) Jobs() []Job {
 	g = g.normalized()
 	out := make([]Job, 0, len(g.Benchmarks)*len(g.SwitchCounts)*len(g.Policies)*len(g.Seeds))
 	for _, b := range g.Benchmarks {
-		for _, s := range g.SwitchCounts {
+		counts := g.SwitchCounts
+		if p, ok := parsePreset(b); ok {
+			counts = []int{p.cols * p.rows}
+		}
+		for _, s := range counts {
 			for _, p := range g.Policies {
 				for _, seed := range g.Seeds {
 					out = append(out, Job{Benchmark: b, SwitchCount: s, Policy: p, Seed: seed})
@@ -80,6 +103,12 @@ func (g Grid) Jobs() []Job {
 func (g Grid) Validate() error {
 	n := g.normalized()
 	for _, b := range n.Benchmarks {
+		if p, ok := parsePreset(b); ok {
+			if _, _, err := p.build(); err != nil {
+				return err
+			}
+			continue
+		}
 		if _, err := resolveBenchmark(b, 0); err != nil {
 			return err
 		}
@@ -127,6 +156,10 @@ type Result struct {
 	OrderingVCs    int  `json:"ordering_vcs"`
 	Breaks         int  `json:"breaks"`
 
+	// Sim is the flit-level verification outcome (only with
+	// Options.Simulate).
+	Sim *SimResult `json:"sim,omitempty"`
+
 	RemovalTime time.Duration `json:"-"`
 }
 
@@ -153,6 +186,13 @@ type Options struct {
 	// FullRebuild routes every Remove through the rebuild-per-iteration
 	// path (for baseline comparisons).
 	FullRebuild bool
+	// Simulate adds the flit-level verification stage to every job: a
+	// negative-control simulation of the pre-removal design and a
+	// measurement simulation of the post-removal design (see SimEval).
+	Simulate bool
+	// Sim parameterizes the simulations; the per-job seed is derived from
+	// the job's seed on top of these.
+	Sim SimParams
 	// Progress, when non-nil, receives one line per completed job.
 	Progress io.Writer
 }
@@ -211,25 +251,50 @@ func Run(grid Grid, opts Options) (*Report, error) {
 // result so one bad point cannot sink a long sweep.
 func runJob(job Job, opts Options) Result {
 	res := Result{Job: job}
-	g, err := resolveBenchmark(job.Benchmark, job.Seed)
-	if err != nil {
-		res.Error = err.Error()
-		return res
-	}
-	res.Cores = g.NumCores()
-	if job.SwitchCount > g.NumCores() {
-		res.Skipped = true
-		return res
-	}
 	policy, err := ParsePolicy(job.Policy)
 	if err != nil {
 		res.Error = err.Error()
 		return res
 	}
-	p, err := Evaluate(g, job.SwitchCount, EvalOptions{Selection: policy, FullRebuild: opts.FullRebuild})
-	if err != nil {
-		res.Error = err.Error()
-		return res
+	evalOpts := EvalOptions{
+		Selection:   policy,
+		FullRebuild: opts.FullRebuild,
+		Simulate:    opts.Simulate,
+		Sim:         opts.Sim,
+	}
+	// Derive the simulation seed from the job seed so the seeds axis
+	// varies the injection process even on deterministic benchmarks.
+	evalOpts.Sim.Seed = opts.Sim.Seed + job.Seed + 1
+
+	var p Point
+	if preset, ok := parsePreset(job.Benchmark); ok {
+		grid, g, err := preset.build()
+		if err != nil {
+			res.Error = err.Error()
+			return res
+		}
+		res.Cores = g.NumCores()
+		p, err = EvaluateRegular(grid, g, evalOpts)
+		if err != nil {
+			res.Error = err.Error()
+			return res
+		}
+	} else {
+		g, err := resolveBenchmark(job.Benchmark, job.Seed)
+		if err != nil {
+			res.Error = err.Error()
+			return res
+		}
+		res.Cores = g.NumCores()
+		if job.SwitchCount > g.NumCores() {
+			res.Skipped = true
+			return res
+		}
+		p, err = Evaluate(g, job.SwitchCount, evalOpts)
+		if err != nil {
+			res.Error = err.Error()
+			return res
+		}
 	}
 	res.Links = p.Links
 	res.MaxRouteLen = p.MaxRouteLen
@@ -237,6 +302,7 @@ func runJob(job Job, opts Options) Result {
 	res.RemovalVCs = p.RemovalVCs
 	res.OrderingVCs = p.OrderingVCs
 	res.Breaks = p.Breaks
+	res.Sim = p.Sim
 	res.RemovalTime = p.RemovalTime
 	return res
 }
@@ -249,9 +315,32 @@ func (r Result) oneLine() string {
 	case r.Skipped:
 		return id + " skipped (switches > cores)"
 	default:
-		return fmt.Sprintf("%s removal=%d ordering=%d breaks=%d in %v",
+		line := fmt.Sprintf("%s removal=%d ordering=%d breaks=%d in %v",
 			id, r.RemovalVCs, r.OrderingVCs, r.Breaks, r.RemovalTime.Round(time.Microsecond))
+		if r.Sim != nil {
+			line += " sim:" + r.Sim.summary()
+		}
+		return line
 	}
+}
+
+// summary renders the verification verdict compactly for progress lines
+// and tables: the negative control's outcome (did the witness workload
+// deadlock the unprotected design?), the post-removal verdict, and the
+// post-removal tail latency.
+func (s *SimResult) summary() string {
+	pre := "pre=acyclic"
+	if s.PreRan {
+		pre = "pre=survived"
+		if s.PreDeadlock {
+			pre = "pre=deadlock"
+		}
+	}
+	post := "post=ok"
+	if s.PostDeadlock {
+		post = "post=DEADLOCK"
+	}
+	return fmt.Sprintf("%s %s p95=%d", pre, post, s.PostP95)
 }
 
 // ParsePolicy maps a policy spec to the core selection constant.
@@ -265,10 +354,17 @@ func ParsePolicy(s string) (core.CycleSelection, error) {
 	return 0, fmt.Errorf("runner: unknown selection policy %q (valid: smallest, first)", s)
 }
 
-var randSpec = regexp.MustCompile(`^rand:(\d+)x(\d+)$`)
+var (
+	randSpec    = regexp.MustCompile(`^rand:(\d+)x(\d+)$`)
+	patternSpec = regexp.MustCompile(`^(transpose|bitrev):(\d+)$`)
+	hotspotSpec = regexp.MustCompile(`^hotspot:(\d+)(?:x(\d+))?$`)
+	presetSpec  = regexp.MustCompile(`^(mesh|torus):(\d+)x(\d+):(transpose|bitrev|hotspot|uniform)$`)
+)
 
-// resolveBenchmark turns a benchmark spec into a traffic graph: a paper
-// benchmark by name, or "rand:<cores>x<fanout>" seeded by the job's seed.
+// resolveBenchmark turns a synthesized benchmark spec into a traffic
+// graph: a paper benchmark by name, "rand:<cores>x<fanout>" seeded by the
+// job's seed, or one of the deterministic adversarial patterns
+// (transpose:<n>, bitrev:<n>, hotspot:<n>x<h>).
 func resolveBenchmark(spec string, seed int64) (*traffic.Graph, error) {
 	if m := randSpec.FindStringSubmatch(spec); m != nil {
 		cores, _ := strconv.Atoi(m[1])
@@ -279,5 +375,69 @@ func resolveBenchmark(spec string, seed int64) (*traffic.Graph, error) {
 		name := fmt.Sprintf("%s#%d", spec, seed)
 		return traffic.RandomKOut(name, cores, fanout, seed), nil
 	}
+	if m := patternSpec.FindStringSubmatch(spec); m != nil {
+		n, _ := strconv.Atoi(m[2])
+		if m[1] == "transpose" {
+			return traffic.Transpose(n)
+		}
+		return traffic.BitReversal(n)
+	}
+	if m := hotspotSpec.FindStringSubmatch(spec); m != nil {
+		n, _ := strconv.Atoi(m[1])
+		h := max(1, n/8)
+		if m[2] != "" {
+			h, _ = strconv.Atoi(m[2])
+		}
+		return traffic.Hotspot(n, h)
+	}
 	return traffic.ByName(spec)
+}
+
+// preset is a parsed regular-topology benchmark spec.
+type preset struct {
+	wrap    bool // torus if true
+	cols    int
+	rows    int
+	pattern string
+}
+
+// parsePreset recognizes mesh:/torus: specs.
+func parsePreset(spec string) (preset, bool) {
+	m := presetSpec.FindStringSubmatch(spec)
+	if m == nil {
+		return preset{}, false
+	}
+	cols, _ := strconv.Atoi(m[2])
+	rows, _ := strconv.Atoi(m[3])
+	return preset{wrap: m[1] == "torus", cols: cols, rows: rows, pattern: m[4]}, true
+}
+
+// build materializes the preset's grid topology and traffic pattern.
+func (p preset) build() (*regular.Grid, *traffic.Graph, error) {
+	var grid *regular.Grid
+	var err error
+	if p.wrap {
+		grid, err = regular.Torus(p.cols, p.rows)
+	} else {
+		grid, err = regular.Mesh(p.cols, p.rows)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	n := p.cols * p.rows
+	var g *traffic.Graph
+	if p.pattern == "uniform" {
+		g, err = regular.UniformTraffic(n, n/2, 100)
+	} else {
+		// The non-uniform patterns share their construction (and the
+		// hotspot default fan-in) with the synthesized specs.
+		if p.pattern == "transpose" && p.cols != p.rows {
+			return nil, nil, fmt.Errorf("runner: transpose preset needs a square grid, got %dx%d", p.cols, p.rows)
+		}
+		g, err = resolveBenchmark(fmt.Sprintf("%s:%d", p.pattern, n), 0)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return grid, g, nil
 }

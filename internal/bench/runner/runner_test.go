@@ -158,6 +158,167 @@ func TestRandomSpecSweep(t *testing.T) {
 	_ = distinct // seeds may coincide in cost; the point is they all ran
 }
 
+// TestSimulatedSweepVerifiesRemoval is the verification sweep in miniature:
+// flit-level simulation on paper benchmarks plus a torus preset whose DOR
+// routes are deadlock-prone. Post-removal deadlocks must never occur; the
+// torus negative control must actually deadlock.
+func TestSimulatedSweepVerifiesRemoval(t *testing.T) {
+	grid := Grid{
+		Benchmarks:   []string{"D26_media", "D36_8", "torus:4x4:uniform"},
+		SwitchCounts: []int{8},
+	}
+	rep, err := Run(grid, Options{Parallel: runtime.NumCPU(), Simulate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preDeadlocks := 0
+	for _, r := range rep.Results {
+		if r.Error != "" {
+			t.Fatalf("job %+v failed: %s", r.Job, r.Error)
+		}
+		if r.Skipped {
+			continue
+		}
+		if r.Sim == nil {
+			t.Fatalf("job %+v: Simulate set but no sim result", r.Job)
+		}
+		if r.Sim.PostDeadlock {
+			t.Errorf("job %+v: deadlock AFTER removal — the paper's guarantee is violated", r.Job)
+		}
+		if r.InitialAcyclic && r.Sim.PreRan {
+			t.Errorf("job %+v: negative control ran on an acyclic design", r.Job)
+		}
+		if !r.InitialAcyclic && !r.Sim.PreRan {
+			t.Errorf("job %+v: cyclic design skipped its negative control", r.Job)
+		}
+		if r.Sim.PreRan && !r.Sim.PreDeadlock {
+			t.Errorf("job %+v: witness workload did not deadlock the cyclic design", r.Job)
+		}
+		if r.Sim.PreRan && r.Sim.WitnessFlows == 0 {
+			t.Errorf("job %+v: witness ran with no saturated flows", r.Job)
+		}
+		if r.Sim.PreDeadlock {
+			preDeadlocks++
+		}
+		if r.Sim.PostDelivered == 0 {
+			t.Errorf("job %+v: post-removal simulation delivered nothing", r.Job)
+		}
+	}
+	if preDeadlocks == 0 {
+		t.Error("no negative-control deadlock in the whole sweep; the verification has no teeth")
+	}
+	// The torus preset pins its own switch count (cols*rows), once per
+	// policy×seed.
+	last := rep.Results[len(rep.Results)-1]
+	if last.Benchmark != "torus:4x4:uniform" || last.SwitchCount != 16 {
+		t.Errorf("torus preset job malformed: %+v", last.Job)
+	}
+	if last.InitialAcyclic {
+		t.Error("torus DOR routes reported acyclic; the dateline hazard is gone?")
+	}
+}
+
+// TestWitnessSaturatesRegardlessOfLoad pins that a sub-saturation
+// -sim-load does not de-fang the negative control: the witness runs
+// always drive the cycle-inducing flows at load 1.
+func TestWitnessSaturatesRegardlessOfLoad(t *testing.T) {
+	grid := Grid{Benchmarks: []string{"torus:4x4:uniform"}}
+	rep, err := Run(grid, Options{Simulate: true, Sim: SimParams{Load: 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.Results[0]
+	if r.Error != "" {
+		t.Fatal(r.Error)
+	}
+	if !r.Sim.PreRan || !r.Sim.PreDeadlock {
+		t.Errorf("witness at -sim-load 0.2 did not deadlock the cyclic torus: %+v", r.Sim)
+	}
+	if r.Sim.PostDeadlock {
+		t.Error("post-removal deadlock")
+	}
+}
+
+// TestSimulatedSweepDeterministic pins byte-identical JSON for simulated
+// sweeps across worker counts, extending the engine's core determinism
+// guarantee to the new stage.
+func TestSimulatedSweepDeterministic(t *testing.T) {
+	grid := Grid{
+		Benchmarks:   []string{"D26_media", "mesh:3x3:hotspot"},
+		SwitchCounts: []int{8},
+		Seeds:        []int64{0, 1},
+	}
+	opts := Options{Simulate: true, Sim: SimParams{Cycles: 5000}}
+	optsSerial, optsParallel := opts, opts
+	optsSerial.Parallel = 1
+	optsParallel.Parallel = 2 * runtime.NumCPU()
+	serial, err := Run(grid, optsSerial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(grid, optsParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := serial.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("serial and parallel simulated sweeps differ:\n%s\n%s", a.String(), b.String())
+	}
+}
+
+// TestPatternSpecs resolves the adversarial pattern grammar.
+func TestPatternSpecs(t *testing.T) {
+	for spec, cores := range map[string]int{
+		"transpose:16": 16,
+		"bitrev:32":    32,
+		"hotspot:24x3": 24,
+		"hotspot:24":   24,
+	} {
+		g, err := resolveBenchmark(spec, 0)
+		if err != nil {
+			t.Errorf("%s: %v", spec, err)
+			continue
+		}
+		if g.NumCores() != cores {
+			t.Errorf("%s: %d cores, want %d", spec, g.NumCores(), cores)
+		}
+	}
+	for _, bad := range []string{"transpose:15", "transpose:16x4", "bitrev:12", "bitrev:8x2", "hotspot:2x2", "mesh:1x1:uniform", "torus:4x4:nope"} {
+		if err := (Grid{Benchmarks: []string{bad}, SwitchCounts: []int{4}}).Validate(); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+	if err := (Grid{Benchmarks: []string{"mesh:4x4:transpose", "torus:8x4:bitrev"}, SwitchCounts: []int{4}}).Validate(); err != nil {
+		t.Errorf("valid presets rejected: %v", err)
+	}
+}
+
+// TestPresetJobsPinSwitchCount checks that mesh/torus presets ignore the
+// switch-count axis.
+func TestPresetJobsPinSwitchCount(t *testing.T) {
+	g := Grid{
+		Benchmarks:   []string{"D26_media", "torus:4x4:uniform"},
+		SwitchCounts: []int{8, 14},
+		Seeds:        []int64{0, 1},
+	}
+	jobs := g.Jobs()
+	// D26: 2 switch counts × 2 seeds; torus: 1 pinned count × 2 seeds.
+	if len(jobs) != 6 {
+		t.Fatalf("got %d jobs, want 6", len(jobs))
+	}
+	for _, j := range jobs[4:] {
+		if j.SwitchCount != 16 {
+			t.Errorf("preset job has switch count %d, want 16", j.SwitchCount)
+		}
+	}
+}
+
 // TestSkippedAndProgress covers the switches-exceed-cores convention and
 // the progress stream.
 func TestSkippedAndProgress(t *testing.T) {

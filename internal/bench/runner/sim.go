@@ -1,0 +1,209 @@
+package runner
+
+import (
+	"fmt"
+
+	"github.com/nocdr/nocdr/internal/cdg"
+	"github.com/nocdr/nocdr/internal/route"
+	"github.com/nocdr/nocdr/internal/topology"
+	"github.com/nocdr/nocdr/internal/traffic"
+	"github.com/nocdr/nocdr/internal/wormhole"
+)
+
+// SimParams configures the flit-level verification stage of a sweep.
+// Zero-valued fields pick defaults chosen to provoke deadlocks: saturation
+// load and shallow buffers over a 20k-cycle horizon.
+type SimParams struct {
+	// Cycles is the simulation horizon per run. Default 20000.
+	Cycles int64
+	// Load is the injection load factor in (0, 1]. Default 1.0
+	// (saturation — the regime where cyclic designs actually deadlock).
+	Load float64
+	// BufferDepth is the per-VC buffer depth in flits. Default 2.
+	BufferDepth int
+	// Seed drives the injection process.
+	Seed int64
+}
+
+func (p SimParams) withDefaults() SimParams {
+	if p.Cycles == 0 {
+		p.Cycles = 20000
+	}
+	if p.Load == 0 {
+		p.Load = 1.0
+	}
+	if p.BufferDepth == 0 {
+		p.BufferDepth = 2
+	}
+	return p
+}
+
+// SimResult is the flit-level verification outcome of one grid cell: the
+// negative control (the pre-removal design must deadlock under the
+// constructed witness workload if its CDG was cyclic), the post-removal
+// verdict (must never deadlock, neither under the witness nor under plain
+// load), and the post-removal service metrics. All fields are pure
+// functions of the cell spec and seed, so they serialize
+// deterministically.
+type SimResult struct {
+	// PreRan reports whether the negative control ran; it is skipped when
+	// the initial CDG is already acyclic (no deadlock to provoke).
+	PreRan bool `json:"pre_ran"`
+	// WitnessFlows is how many flows the constructed witness workload
+	// saturates (the flows inducing the CDG's smallest cycle).
+	WitnessFlows int `json:"witness_flows,omitempty"`
+	// PreDeadlock is the negative control: true means the unmodified
+	// design deadlocked under the witness workload, demonstrating the
+	// hazard the removal algorithm exists to eliminate.
+	PreDeadlock      bool  `json:"pre_deadlock"`
+	PreDeadlockCycle int64 `json:"pre_deadlock_cycle,omitempty"`
+
+	// PostDeadlock must be false: the post-removal design simulated under
+	// the identical witness workload and under the plain measurement
+	// load.
+	PostDeadlock bool `json:"post_deadlock"`
+
+	// Post-removal service metrics at the configured load.
+	PostDelivered  int64   `json:"post_delivered"`
+	PostAvgLatency float64 `json:"post_avg_latency"`
+	PostP50        int64   `json:"post_p50_latency"`
+	PostP95        int64   `json:"post_p95_latency"`
+	PostP99        int64   `json:"post_p99_latency"`
+	// PostThroughput is delivered flits per cycle — the saturation
+	// throughput when Load is 1.
+	PostThroughput float64 `json:"post_throughput_flits_per_cycle"`
+}
+
+// witnessFlits is the packet length of the witness workload's saturated
+// flows: long worms span several channels, so the constructed cycle's
+// holdings actually interlock.
+const witnessFlits = 16
+
+// witnessWorkload constructs the adversarial counterexample for a cyclic
+// design: it finds the CDG's smallest cycle, identifies the flows whose
+// routes induce its dependency edges, and returns a copy of the traffic
+// graph in which exactly those flows inject saturated long-packet traffic
+// while every other flow is throttled to near silence. A blind saturation
+// run almost never trips an application-specific design's cycle (the
+// involved flows are usually low-bandwidth); driving the inducing flows
+// directly makes the latent hazard manifest within a short horizon. The
+// second return value is the number of saturated flows; a nil graph means
+// the CDG is acyclic.
+func witnessWorkload(g *traffic.Graph, top *topology.Topology, tab *route.Table) (*traffic.Graph, int, error) {
+	c, err := cdg.Build(top, tab)
+	if err != nil {
+		return nil, 0, err
+	}
+	cyc := c.SmallestCycle()
+	if len(cyc) == 0 {
+		return nil, 0, nil
+	}
+	hot := map[int]bool{}
+	for i := range cyc {
+		for _, f := range c.FlowsOn(cyc[i], cyc[(i+1)%len(cyc)]) {
+			hot[f] = true
+		}
+	}
+	// Rebuild the graph flow by flow in ID order so flow IDs (and with
+	// them the route table mapping) are preserved.
+	w := traffic.NewGraph(g.Name + "_witness")
+	for range g.Cores() {
+		w.AddCore("")
+	}
+	for _, f := range g.Flows() {
+		bw, flits := 0.001, f.PacketFlits
+		if hot[f.ID] {
+			bw, flits = 100, witnessFlits
+		}
+		id, err := w.AddFlow(f.Src, f.Dst, bw)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := w.SetPacketFlits(id, flits); err != nil {
+			return nil, 0, err
+		}
+	}
+	return w, len(hot), nil
+}
+
+// SimEval runs the flit-level verification stage for one evaluated cell.
+// For a cyclic design it constructs the witness workload and simulates it
+// on both the pre-removal design (negative control: must deadlock to
+// demonstrate the hazard) and the post-removal design (must survive the
+// identical adversarial workload). The post-removal design additionally
+// runs the plain workload at the configured load for latency percentiles
+// and throughput.
+func SimEval(g *traffic.Graph,
+	preTop *topology.Topology, preTab *route.Table, initialAcyclic bool,
+	postTop *topology.Topology, postTab *route.Table,
+	params SimParams) (*SimResult, error) {
+
+	params = params.withDefaults()
+	res := &SimResult{}
+	cfg := wormhole.Config{
+		MaxCycles:   params.Cycles,
+		LoadFactor:  params.Load,
+		BufferDepth: params.BufferDepth,
+		Seed:        params.Seed,
+	}
+
+	if !initialAcyclic {
+		witness, nflows, err := witnessWorkload(g, preTop, preTab)
+		if err != nil {
+			return nil, fmt.Errorf("runner: witness workload: %w", err)
+		}
+		if witness != nil {
+			res.PreRan = true
+			res.WitnessFlows = nflows
+			// The witness's point is to saturate the cycle-inducing
+			// flows; a sub-saturation -sim-load must not de-fang the
+			// negative control, so the witness runs always pin load 1.
+			witnessCfg := cfg
+			witnessCfg.LoadFactor = 1.0
+			pre, err := wormhole.New(preTop, witness, preTab, witnessCfg)
+			if err != nil {
+				return nil, fmt.Errorf("runner: pre-removal sim: %w", err)
+			}
+			st, err := pre.Run()
+			if err != nil {
+				return nil, fmt.Errorf("runner: pre-removal sim: %w", err)
+			}
+			res.PreDeadlock = st.Deadlocked
+			res.PreDeadlockCycle = st.DeadlockCycle
+
+			// The removed design must survive the same adversarial
+			// workload that just deadlocked (or at least stressed) the
+			// original.
+			postW, err := wormhole.New(postTop, witness, postTab, witnessCfg)
+			if err != nil {
+				return nil, fmt.Errorf("runner: post-removal witness sim: %w", err)
+			}
+			wst, err := postW.Run()
+			if err != nil {
+				return nil, fmt.Errorf("runner: post-removal witness sim: %w", err)
+			}
+			if wst.Deadlocked {
+				res.PostDeadlock = true
+			}
+		}
+	}
+
+	postCfg := cfg
+	postCfg.CollectLatencies = true
+	post, err := wormhole.New(postTop, g, postTab, postCfg)
+	if err != nil {
+		return nil, fmt.Errorf("runner: post-removal sim: %w", err)
+	}
+	st, err := post.Run()
+	if err != nil {
+		return nil, fmt.Errorf("runner: post-removal sim: %w", err)
+	}
+	res.PostDeadlock = res.PostDeadlock || st.Deadlocked
+	res.PostDelivered = st.DeliveredPackets
+	res.PostAvgLatency = st.AvgLatency()
+	res.PostP50 = st.LatencyPercentile(50)
+	res.PostP95 = st.LatencyPercentile(95)
+	res.PostP99 = st.LatencyPercentile(99)
+	res.PostThroughput = st.ThroughputFlitsPerCycle()
+	return res, nil
+}

@@ -14,8 +14,19 @@ func WriteTable(w io.Writer, rep *Report) error {
 	title := fmt.Sprintf("Sweep: %d benchmarks × %d switch counts × %d policies × %d seeds",
 		len(rep.Grid.Benchmarks), len(rep.Grid.SwitchCounts), len(rep.Grid.Policies), len(rep.Grid.Seeds))
 	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	simulated := false
+	for _, r := range rep.Results {
+		if r.Sim != nil {
+			simulated = true
+			break
+		}
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "benchmark\tswitches\tpolicy\tseed\tlinks\tremoval VCs\tordering VCs\tbreaks\truntime\tstatus")
+	header := "benchmark\tswitches\tpolicy\tseed\tlinks\tremoval VCs\tordering VCs\tbreaks\truntime\tstatus"
+	if simulated {
+		header += "\tsim"
+	}
+	fmt.Fprintln(tw, header)
 	var total time.Duration
 	errors := 0
 	for _, r := range rep.Results {
@@ -30,10 +41,18 @@ func WriteTable(w io.Writer, rep *Report) error {
 			status = "already acyclic"
 		}
 		total += r.RemovalTime
-		fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%s\t%s",
 			r.Benchmark, r.SwitchCount, r.Policy, r.Seed, r.Links,
 			r.RemovalVCs, r.OrderingVCs, r.Breaks,
 			r.RemovalTime.Round(10*time.Microsecond), status)
+		if simulated {
+			sim := "-"
+			if r.Sim != nil {
+				sim = r.Sim.summary()
+			}
+			fmt.Fprintf(tw, "\t%s", sim)
+		}
+		fmt.Fprintln(tw)
 	}
 	if err := tw.Flush(); err != nil {
 		return err

@@ -52,6 +52,14 @@ type Config struct {
 	// StallThreshold is how many consecutive cycles without any flit
 	// movement trigger deadlock confirmation. Default 256.
 	StallThreshold int64
+	// SourceQueueCap bounds each flow's source queue (packets created but
+	// not yet fully injected) in probabilistic injection mode; a flow at
+	// its cap skips creation until the queue drains below it. This keeps
+	// saturation runs in bounded memory — offered load beyond the fabric's
+	// capacity is shed at the source instead of accumulating as backlog.
+	// Default 4. Drain mode (PacketsPerFlow > 0) uses its own priming
+	// rule and ignores this.
+	SourceQueueCap int
 	// WarmupCycles excludes initial transients from latency statistics.
 	// Default 0.
 	WarmupCycles int64
@@ -65,6 +73,14 @@ type Config struct {
 	// CollectLatencies records every delivered packet's latency so the
 	// Stats percentile helpers work (costs memory on long runs).
 	CollectLatencies bool
+	// Reference selects the unoptimized arbitration path: a full scan
+	// over every channel per cycle with map-based next-hop resolution and
+	// per-link map grouping — the seed engine's cost profile. It decides
+	// exactly the same moves as the default dense/worklist path (the
+	// differential tests pin this) and exists as the baseline for
+	// BenchmarkSimStep and as the reference half of the repo's
+	// two-paths-one-answer invariant.
+	Reference bool
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +92,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StallThreshold == 0 {
 		c.StallThreshold = 256
+	}
+	if c.SourceQueueCap == 0 {
+		c.SourceQueueCap = 4
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -100,6 +119,9 @@ func (c Config) Validate() error {
 	if c.PacketsPerFlow < 0 {
 		return fmt.Errorf("wormhole: PacketsPerFlow %d must be >= 0", c.PacketsPerFlow)
 	}
+	if c.SourceQueueCap < 1 {
+		return fmt.Errorf("wormhole: SourceQueueCap %d must be >= 1", c.SourceQueueCap)
+	}
 	if c.WarmupCycles < 0 {
 		return fmt.Errorf("wormhole: WarmupCycles %d must be >= 0", c.WarmupCycles)
 	}
@@ -118,8 +140,10 @@ type Stats struct {
 	// switch fabric.
 	LocalPackets int64
 
-	// Latency statistics over packets created after WarmupCycles and
-	// delivered before the run ended.
+	// Latency statistics over fabric packets created after WarmupCycles
+	// and delivered before the run ended. Local same-switch deliveries
+	// are excluded: their latency is zero by construction and would
+	// drown the fabric percentiles.
 	LatencyCount int64
 	LatencySum   int64
 	LatencyMax   int64

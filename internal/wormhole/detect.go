@@ -16,35 +16,37 @@ import "sort"
 //     buffer is full — the stall then propagates along P's own worm to
 //     P's head, which is covered by the first case, so self-edges are
 //     skipped.
-func (s *Simulator) confirmDeadlock() []int {
-	wait := make(map[int][]int) // packet → packets it waits on
+//
+// This is the cold path: it runs once per confirmed stall, so it scans
+// every channel rather than the active worklist. It returns the packets
+// themselves (not just IDs) so recovery can act on the cycle without a
+// live-packet lookup table existing anywhere.
+func (s *Simulator) confirmDeadlock() []*packet {
+	wait := make(map[int][]int)   // packet ID → packet IDs it waits on
+	byID := make(map[int]*packet) // every packet with an outgoing wait edge
 
-	addEdge := func(p, q int) {
-		if p == q {
+	addEdge := func(p *packet, q int) {
+		if p.id == q {
 			return
 		}
-		wait[p] = append(wait[p], q)
+		wait[p.id] = append(wait[p.id], q)
+		byID[p.id] = p
 	}
 
 	// Blocked buffer fronts.
 	for ci := range s.chans {
 		cs := &s.chans[ci]
-		if len(cs.buf) == 0 {
+		if cs.n == 0 {
 			continue
 		}
-		front := cs.buf[0]
-		p := s.packets[front.pkt]
-		if p == nil {
-			continue
-		}
-		rt := s.flows[p.flow].routeCh
-		hop := cs.hop[p.flow]
-		if hop == len(rt)-1 {
+		p := cs.front().pkt
+		ridx := s.flows[p.flow].routeIdx
+		if cs.hop == len(ridx)-1 {
 			continue // ejection always possible: not blocked
 		}
-		next := &s.chans[s.idx[rt[hop+1]]]
-		if next.owner != -1 && next.owner != front.pkt {
-			addEdge(front.pkt, next.owner)
+		next := &s.chans[ridx[cs.hop+1]]
+		if next.owner != -1 && next.owner != p.id {
+			addEdge(p, next.owner)
 		}
 	}
 	// Blocked injections (the queued packet holds nothing yet, but its
@@ -52,12 +54,12 @@ func (s *Simulator) confirmDeadlock() []int {
 	// cycle because nothing waits on it).
 	for i := range s.flows {
 		fs := &s.flows[i]
-		if len(fs.queue) == 0 {
+		if fs.qlen() == 0 {
 			continue
 		}
-		first := &s.chans[s.idx[fs.routeCh[0]]]
-		if first.owner != -1 && first.owner != fs.queue[0].id {
-			addEdge(fs.queue[0].id, first.owner)
+		first := &s.chans[fs.routeIdx[0]]
+		if first.owner != -1 && first.owner != fs.qfront().id {
+			addEdge(fs.qfront(), first.owner)
 		}
 	}
 
@@ -104,15 +106,28 @@ func (s *Simulator) confirmDeadlock() []int {
 	if cycleAt == -1 {
 		return nil
 	}
-	var cyc []int
+	var cyc []*packet
 	for v := cycleEnd; ; v = parent[v] {
-		cyc = append(cyc, v)
+		// Every cycle node has an outgoing wait edge, so byID covers it.
+		cyc = append(cyc, byID[v])
 		if v == cycleAt {
 			break
 		}
 	}
-	sort.Ints(cyc)
+	sort.Slice(cyc, func(i, j int) bool { return cyc[i].id < cyc[j].id })
 	return cyc
+}
+
+// packetIDs projects a packet list onto its IDs (for Stats reporting).
+func packetIDs(pkts []*packet) []int {
+	if len(pkts) == 0 {
+		return nil
+	}
+	ids := make([]int, len(pkts))
+	for i, p := range pkts {
+		ids[i] = p.id
+	}
+	return ids
 }
 
 // HeldChannels returns the channels currently owned by the given packet,

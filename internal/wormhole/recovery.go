@@ -18,7 +18,7 @@ package wormhole
 
 // recovery tracks the in-flight recovery, if any.
 type recovery struct {
-	pkt     int
+	pkt     *packet
 	deliver int64 // cycle at which the packet completes
 }
 
@@ -35,34 +35,26 @@ func (s *Simulator) tryRecover() bool {
 	if len(cyc) == 0 {
 		return false
 	}
-	pkt := cyc[0] // lowest ID: the deterministic token grant
-	p := s.packets[pkt]
-	if p == nil {
-		return false
-	}
+	p := cyc[0] // lowest ID: the deterministic token grant
 	// Pull the worm out of the normal network, freeing its channels.
-	inNet := 0
 	for ci := range s.chans {
-		cs := &s.chans[ci]
-		if cs.owner != pkt {
+		if s.chans[ci].owner != p.id {
 			continue
 		}
-		inNet += len(cs.buf)
-		cs.buf = cs.buf[:0]
-		cs.owner = -1
+		s.clearChannel(ci)
 	}
 	// Flits still queued at the source keep injecting through the lane
 	// as well; time the drain as (remaining flits) + (remaining hops).
 	remFlits := int64(p.flits - p.ejected)
 	remHops := int64(len(s.flows[p.flow].routeCh))
-	s.rec = &recovery{pkt: pkt, deliver: s.now + remFlits + remHops}
+	s.rec = &recovery{pkt: p, deliver: s.now + remFlits + remHops}
 	// If the packet was mid-injection, take it off the source queue so
 	// the next packet of the flow can start once the lane drain ends.
 	fs := &s.flows[p.flow]
-	if len(fs.queue) > 0 && fs.queue[0].id == pkt {
+	if fs.qlen() > 0 && fs.qfront() == p {
 		s.stats.InjectedFlits += int64(p.flits - p.injected)
 		p.injected = p.flits
-		fs.queue = fs.queue[1:]
+		s.dequeue(p.flow)
 	}
 	s.stats.Recoveries++
 	s.lastProgress = s.now
@@ -74,14 +66,16 @@ func (s *Simulator) stepRecovery() {
 	if s.rec == nil || s.now < s.rec.deliver {
 		return
 	}
-	p := s.packets[s.rec.pkt]
-	if p != nil {
-		s.stats.DeliveredFlits += int64(p.flits - p.ejected)
-		s.stats.DeliveredPackets++
-		s.stats.RecoveredPackets++
-		s.recordDelivery(p)
-		delete(s.packets, p.id)
+	p := s.rec.pkt
+	s.stats.DeliveredFlits += int64(p.flits - p.ejected)
+	s.stats.DeliveredPackets++
+	s.stats.RecoveredPackets++
+	s.recordDelivery(p)
+	s.live--
+	if s.refPackets != nil {
+		delete(s.refPackets, p.id)
 	}
+	s.freePacket(p)
 	s.rec = nil
 	s.lastProgress = s.now
 }

@@ -2,7 +2,6 @@ package wormhole
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"github.com/nocdr/nocdr/internal/route"
@@ -21,46 +20,91 @@ type packet struct {
 	ejected  int // flits that have left the network at the destination
 }
 
-// chanState is the runtime state of one channel: its downstream FIFO and
-// owning packet. Invariant: the buffer holds only the owner's flits, and
-// owner == -1 exactly when the buffer is empty and no worm spans the
-// channel.
-type chanState struct {
-	ch    topology.Channel
-	hop   map[int]int // flowID → hop index of this channel in the flow's route
-	buf   []flitRef
-	owner int // packet ID, -1 if free
-}
-
+// flitRef carries the owning packet by pointer so the per-cycle hot loop
+// never consults a lookup table to resolve a flit.
 type flitRef struct {
-	pkt    int
+	pkt    *packet
 	isHead bool
 	isTail bool
 }
 
-// flowState tracks a flow's injection side.
-type flowState struct {
-	id      int
-	routeCh []topology.Channel
-	prob    float64 // per-cycle packet creation probability
-	queue   []*packet
-	created int // packets created so far (for PacketsPerFlow budgeting)
+// chanState is the runtime state of one channel: its downstream FIFO
+// (a fixed-capacity ring over a preallocated slice) and owning packet.
+// Invariant: the buffer holds only the owner's flits, and owner == -1
+// exactly when the buffer is empty and no worm spans the channel.
+type chanState struct {
+	buf     []flitRef // ring storage, len == Config.BufferDepth
+	head    int       // index of the front flit
+	n       int       // occupied slots
+	owner   int       // packet ID, -1 if free
+	hop     int       // owner's hop index at this channel (valid while owner != -1)
+	nextIdx int32     // owner's next channel index, -1 at the final hop
+
+	// refHop is the seed engine's flowID → hop-index table, built and
+	// consulted only on the Reference path so the baseline pays the same
+	// per-flit map lookups the original implementation did.
+	refHop map[int]int
 }
 
+// front returns the flit at the head of the FIFO; the caller must have
+// checked n > 0.
+func (cs *chanState) front() flitRef { return cs.buf[cs.head] }
+
+// flowState tracks a flow's injection side. The route is held twice: as
+// channels (construction, diagnostics, the reference arbitration path)
+// and as dense channel indices (the hot path).
+type flowState struct {
+	id       int
+	routeCh  []topology.Channel
+	routeIdx []int32
+	probBits uint64    // per-cycle creation probability, scaled to [0, 2^63]
+	flits    int       // packet length, hoisted out of the creation loop
+	queue    []*packet // pending packets; queue[qhead:] are live
+	qhead    int       // consumed prefix, reclaimed when the queue empties
+	created  int       // packets created so far (for PacketsPerFlow budgeting)
+}
+
+// qlen returns the number of queued packets.
+func (fs *flowState) qlen() int { return len(fs.queue) - fs.qhead }
+
+// qfront returns the packet next to inject; the caller checks qlen > 0.
+func (fs *flowState) qfront() *packet { return fs.queue[fs.qhead] }
+
 // Simulator runs a wormhole NoC. Create with New, advance with Step or
-// Run. A Simulator is single-goroutine; wrap it if you need concurrency.
+// Run.
+//
+// Concurrency contract: a Simulator is single-goroutine — never share one
+// across goroutines. The *inputs* however are only read, never written:
+// New and every subsequent Step/Run treat the topology, traffic graph and
+// route table as immutable, so any number of Simulators may share the
+// same inputs from different goroutines (pinned by a -race test).
 type Simulator struct {
-	cfg     Config
-	top     *topology.Topology
-	g       *traffic.Graph
-	tab     *route.Table
-	rng     *rand.Rand
-	idx     map[topology.Channel]int
-	chans   []chanState
-	linkRR  map[topology.LinkID]int
-	flows   []flowState
-	packets map[int]*packet
-	nextPkt int
+	cfg      Config
+	rngState uint64                   // splitmix64 state driving the injection process
+	idx      map[topology.Channel]int // channel → dense index (construction + reference path)
+	chans    []chanState
+	flows    []flowState
+	live     int       // packets currently in the fabric (injected, not yet delivered)
+	free     []*packet // delivered packet structs, recycled by createPackets
+	nextPkt  int
+
+	// refPackets mirrors the seed engine's live-packet table, maintained
+	// and consulted only on the Reference path (see Config.Reference).
+	refPackets map[int]*packet
+
+	// Dense per-channel metadata, indexed like chans.
+	chanLink []int32 // physical link of each channel
+	chanVC   []int32 // VC index of each channel
+
+	// Per-step scratch, reused to keep the steady-state loop allocation-free.
+	active    []int32  // channels with a non-empty buffer (the worklist)
+	activePos []int32  // channel → position in active, -1 if absent
+	ready     []int32  // flows with a non-empty source queue
+	readyPos  []int32  // flow → position in ready, -1 if absent
+	moves     []move   // this cycle's decided moves
+	buckets   [][]cand // per-link transfer candidates
+	touched   []int32  // links with candidates this cycle
+	linkRR    []int    // per-link round-robin counters
 
 	now          int64
 	lastProgress int64
@@ -69,7 +113,8 @@ type Simulator struct {
 }
 
 // New builds a simulator for a routed workload. Every flow must have a
-// route whose channels are provisioned in the topology.
+// route whose channels are provisioned in the topology. The inputs are
+// never mutated, neither here nor by Step/Run.
 func New(top *topology.Topology, g *traffic.Graph, tab *route.Table, cfg Config) (*Simulator, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -78,19 +123,30 @@ func New(top *topology.Topology, g *traffic.Graph, tab *route.Table, cfg Config)
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	channels := top.Channels()
 	s := &Simulator{
-		cfg:     cfg,
-		top:     top,
-		g:       g,
-		tab:     tab,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		idx:     make(map[topology.Channel]int),
-		linkRR:  make(map[topology.LinkID]int),
-		packets: make(map[int]*packet),
+		cfg:       cfg,
+		rngState:  uint64(cfg.Seed),
+		idx:       make(map[topology.Channel]int, len(channels)),
+		chans:     make([]chanState, len(channels)),
+		chanLink:  make([]int32, len(channels)),
+		chanVC:    make([]int32, len(channels)),
+		activePos: make([]int32, len(channels)),
+		buckets:   make([][]cand, top.NumLinks()),
+		linkRR:    make([]int, top.NumLinks()),
 	}
-	for i, ch := range top.Channels() {
+	for i, ch := range channels {
 		s.idx[ch] = i
-		s.chans = append(s.chans, chanState{ch: ch, hop: map[int]int{}, owner: -1})
+		s.chans[i] = chanState{buf: make([]flitRef, cfg.BufferDepth), owner: -1}
+		s.chanLink[i] = int32(ch.Link)
+		s.chanVC[i] = int32(ch.VC)
+		s.activePos[i] = -1
+		if cfg.Reference {
+			s.chans[i].refHop = map[int]int{}
+		}
+	}
+	if cfg.Reference {
+		s.refPackets = make(map[int]*packet)
 	}
 
 	s.stats.PerFlow = make([]FlowStats, g.NumFlows())
@@ -109,23 +165,73 @@ func New(top *topology.Topology, g *traffic.Graph, tab *route.Table, cfg Config)
 			return nil, fmt.Errorf("wormhole: flow %d has no route", f.ID)
 		}
 		fs := flowState{
-			id:      f.ID,
-			routeCh: r.Channels,
-			prob:    cfg.LoadFactor * f.Bandwidth / maxBW,
+			id:       f.ID,
+			routeCh:  r.Channels,
+			routeIdx: make([]int32, len(r.Channels)),
+			probBits: uint64(cfg.LoadFactor * f.Bandwidth / maxBW * (1 << 63)),
+			flits:    f.PacketFlits,
 		}
+		seen := make(map[int]bool, len(r.Channels))
 		for hopIdx, ch := range r.Channels {
 			ci, ok := s.idx[ch]
 			if !ok {
 				return nil, fmt.Errorf("wormhole: flow %d uses unprovisioned channel %v", f.ID, ch)
 			}
-			if _, dup := s.chans[ci].hop[f.ID]; dup {
+			if seen[ci] {
 				return nil, fmt.Errorf("wormhole: flow %d visits channel %v twice", f.ID, ch)
 			}
-			s.chans[ci].hop[f.ID] = hopIdx
+			seen[ci] = true
+			fs.routeIdx[hopIdx] = int32(ci)
+			if cfg.Reference {
+				s.chans[ci].refHop[f.ID] = hopIdx
+			}
 		}
 		s.flows = append(s.flows, fs)
 	}
+	s.readyPos = make([]int32, len(s.flows))
+	for i := range s.readyPos {
+		s.readyPos[i] = -1
+	}
 	return s, nil
+}
+
+// enqueue appends a packet to flow fi's source queue, maintaining the
+// ready worklist.
+func (s *Simulator) enqueue(fi int, p *packet) {
+	fs := &s.flows[fi]
+	if fs.qlen() == 0 {
+		// Reclaim the consumed prefix so steady-state queue storage is
+		// reused instead of creeping through fresh allocations.
+		fs.queue = fs.queue[:0]
+		fs.qhead = 0
+		s.readyPos[fi] = int32(len(s.ready))
+		s.ready = append(s.ready, int32(fi))
+	}
+	fs.queue = append(fs.queue, p)
+}
+
+// dequeue removes flow fi's front packet, maintaining the ready worklist.
+func (s *Simulator) dequeue(fi int) {
+	fs := &s.flows[fi]
+	fs.queue[fs.qhead] = nil
+	fs.qhead++
+	if fs.qhead >= 16 {
+		// Compact in place so a queue that never fully drains (sustained
+		// load) still keeps its backing array bounded at O(cap + 16)
+		// instead of growing one slot per delivered packet.
+		n := copy(fs.queue, fs.queue[fs.qhead:])
+		clear(fs.queue[n:])
+		fs.queue = fs.queue[:n]
+		fs.qhead = 0
+	}
+	if fs.qlen() == 0 {
+		pos := s.readyPos[fi]
+		last := s.ready[len(s.ready)-1]
+		s.ready[pos] = last
+		s.readyPos[last] = pos
+		s.ready = s.ready[:len(s.ready)-1]
+		s.readyPos[fi] = -1
+	}
 }
 
 // Now returns the current simulation cycle.
@@ -154,7 +260,12 @@ type move struct {
 func (s *Simulator) Step() bool {
 	s.stepRecovery()
 	s.createPackets()
-	moves := s.arbitrate()
+	var moves []move
+	if s.cfg.Reference {
+		moves = s.arbitrateReference()
+	} else {
+		moves = s.arbitrate()
+	}
 	for _, m := range moves {
 		s.apply(m)
 	}
@@ -175,93 +286,299 @@ func (s *Simulator) createPackets() {
 		if s.cfg.PacketsPerFlow > 0 {
 			// Drain mode: deterministic injection that keeps the source
 			// queue primed until the budget is spent.
-			if fs.created >= s.cfg.PacketsPerFlow || len(fs.queue) >= 2 {
+			if fs.created >= s.cfg.PacketsPerFlow || fs.qlen() >= 2 {
 				continue
 			}
-		} else if s.rng.Float64() >= fs.prob {
+		} else if fs.qlen() >= s.cfg.SourceQueueCap {
+			// Source back-pressure: offered load beyond the queue cap is
+			// shed, keeping saturation runs in bounded memory.
+			continue
+		} else if s.nextRand()>>1 >= fs.probBits {
 			continue
 		}
-		f := s.g.Flow(fs.id)
-		p := &packet{
+		p := s.newPacket()
+		*p = packet{
 			id:      s.nextPkt,
 			flow:    fs.id,
-			flits:   f.PacketFlits,
+			flits:   fs.flits,
 			created: s.now,
 		}
 		s.nextPkt++
 		fs.created++
 		s.stats.PerFlow[fs.id].Injected++
-		if len(fs.routeCh) == 0 {
-			// Local (same-switch) delivery bypasses the fabric.
+		if len(fs.routeIdx) == 0 {
+			// Local (same-switch) delivery bypasses the fabric. It counts
+			// as delivered but contributes no latency sample: local
+			// latency is zero by construction, and letting it into the
+			// statistics would drown the fabric percentiles at low switch
+			// counts.
 			s.stats.LocalPackets++
-			s.recordDelivery(p)
+			s.stats.PerFlow[fs.id].Delivered++
+			s.freePacket(p)
 			continue
 		}
-		s.packets[p.id] = p
-		fs.queue = append(fs.queue, p)
+		s.live++
+		if s.refPackets != nil {
+			s.refPackets[p.id] = p
+		}
+		s.enqueue(i, p)
 		s.stats.InjectedPackets++
 	}
 }
 
+// nextRand draws the next value of the seeded injection process. It is a
+// splitmix64 step — a few arithmetic ops, no locking, no pointer chasing —
+// because at low loads the per-flow Bernoulli draws are a measurable share
+// of the whole cycle. The Bernoulli test compares the top 63 bits against
+// the flow's scaled probability, so probability 1 always fires.
+func (s *Simulator) nextRand() uint64 {
+	s.rngState += 0x9e3779b97f4a7c15
+	z := s.rngState
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// newPacket takes a packet struct off the free list, or allocates one.
+func (s *Simulator) newPacket() *packet {
+	if n := len(s.free); n > 0 {
+		p := s.free[n-1]
+		s.free = s.free[:n-1]
+		return p
+	}
+	return new(packet)
+}
+
+// freePacket recycles a delivered packet. The caller must guarantee no
+// flitRef or queue slot still points at it.
+func (s *Simulator) freePacket(p *packet) {
+	s.free = append(s.free, p)
+}
+
+// push appends a flit to channel ci's FIFO and maintains the active
+// worklist. The caller must have established buffer space (admissible).
+func (s *Simulator) push(ci int, fr flitRef) {
+	cs := &s.chans[ci]
+	if cs.n == 0 {
+		s.activePos[ci] = int32(len(s.active))
+		s.active = append(s.active, int32(ci))
+	}
+	pos := cs.head + cs.n
+	if pos >= len(cs.buf) {
+		pos -= len(cs.buf)
+	}
+	cs.buf[pos] = fr
+	cs.n++
+}
+
+// pop removes and returns channel ci's front flit, maintaining the
+// worklist.
+func (s *Simulator) pop(ci int) flitRef {
+	cs := &s.chans[ci]
+	fr := cs.buf[cs.head]
+	cs.buf[cs.head] = flitRef{}
+	cs.head++
+	if cs.head == len(cs.buf) {
+		cs.head = 0
+	}
+	cs.n--
+	if cs.n == 0 {
+		s.deactivate(ci)
+	}
+	return fr
+}
+
+// clearChannel empties channel ci outright (recovery pulling a worm out of
+// the network) and returns how many flits were discarded.
+func (s *Simulator) clearChannel(ci int) int {
+	cs := &s.chans[ci]
+	n := cs.n
+	if n > 0 {
+		for i := range cs.buf {
+			cs.buf[i] = flitRef{}
+		}
+		s.deactivate(ci)
+	}
+	cs.head, cs.n = 0, 0
+	cs.owner = -1
+	return n
+}
+
+// deactivate removes channel ci from the active worklist (swap-remove).
+func (s *Simulator) deactivate(ci int) {
+	pos := s.activePos[ci]
+	last := s.active[len(s.active)-1]
+	s.active[pos] = last
+	s.activePos[last] = pos
+	s.active = s.active[:len(s.active)-1]
+	s.activePos[ci] = -1
+}
+
+// cand is a link-transfer candidate. The key totally orders candidates on
+// a link — (destination VC, kind, source ordinal) packed into one int64 —
+// so the round-robin pick is a pure function of the candidate *set*, never
+// of discovery order. Kind 0 is a buffer-to-buffer transfer, kind 1 an
+// injection; the source ordinal is the source channel index for transfers
+// and numChannels+flowID for injections.
+type cand struct {
+	m   move
+	key int64
+}
+
+func candKey(vc int32, kind, src int) int64 {
+	return int64(int(vc)*2+kind)<<32 | int64(src)
+}
+
 // arbitrate collects at most one move per physical link plus unlimited
-// ejections, all judged against start-of-cycle state.
+// ejections, all judged against start-of-cycle state. It walks only the
+// active worklist — idle channels cost nothing — and uses the dense
+// per-flow route indices, so the steady-state cycle does no map lookups
+// and no allocation.
 func (s *Simulator) arbitrate() []move {
+	moves := s.moves[:0]
+	s.touched = s.touched[:0]
+	// One pass over occupied channels yields both ejections (final-hop
+	// buffers always drain one flit) and transfer candidates. The owner's
+	// next-hop channel is cached on the channel itself, so this loop
+	// never touches flow state.
+	for _, ci32 := range s.active {
+		ci := int(ci32)
+		cs := &s.chans[ci]
+		if cs.nextIdx < 0 {
+			moves = append(moves, move{src: ci, dst: -1})
+			continue
+		}
+		ni := int(cs.nextIdx)
+		fr := cs.front()
+		if !s.admissible(ni, fr) {
+			continue
+		}
+		s.addCand(ni, cand{
+			m:   move{src: ci, dst: ni},
+			key: candKey(s.chanVC[ni], 0, ci),
+		})
+	}
+	// Injection candidates, off the ready worklist. The admissibility
+	// test is unrolled so a blocked flow (full or foreign-owned first
+	// channel — the common case under load) bails before touching its
+	// queue.
+	depth := s.cfg.BufferDepth
+	for _, fi := range s.ready {
+		fs := &s.flows[fi]
+		ni := int(fs.routeIdx[0])
+		cs := &s.chans[ni]
+		if cs.n >= depth {
+			continue
+		}
+		p := fs.qfront()
+		if cs.owner != p.id && (cs.owner != -1 || p.injected != 0) {
+			continue
+		}
+		s.addCand(ni, cand{
+			m:   move{src: -1, fl: fs.id, dst: ni},
+			key: candKey(s.chanVC[ni], 1, len(s.chans)+fs.id),
+		})
+	}
+	// One winner per contended link. Winners on different links are
+	// independent and the keys are unique, so the outcome does not depend
+	// on the order links were touched in.
+	for _, l := range s.touched {
+		cands := s.buckets[l]
+		pick := 0
+		if len(cands) > 1 {
+			sortCands(cands)
+			pick = s.linkRR[l] % len(cands)
+			s.linkRR[l]++
+		}
+		moves = append(moves, cands[pick].m)
+		s.buckets[l] = cands[:0]
+	}
+	s.moves = moves
+	return moves
+}
+
+// addCand buckets a transfer candidate by its destination's physical link.
+func (s *Simulator) addCand(ni int, c cand) {
+	l := s.chanLink[ni]
+	if len(s.buckets[l]) == 0 {
+		s.touched = append(s.touched, l)
+	}
+	s.buckets[l] = append(s.buckets[l], c)
+}
+
+// sortCands is an insertion sort: candidate lists are per-link and tiny,
+// and this avoids sort.Slice's closure allocation on the hot path.
+func sortCands(cands []cand) {
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].key < cands[j-1].key; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+}
+
+// arbitrateReference reproduces the seed engine's arbitration: a full scan
+// over every channel (idle or not), flit resolution through the
+// live-packet table, hop resolution through the per-channel flow→hop map,
+// next-hop resolution through the channel→index map, and per-link
+// candidate grouping in a freshly allocated map with an explicit link
+// sort. It decides exactly the same moves as arbitrate — the differential
+// tests pin that — and exists as the map-based baseline for
+// BenchmarkSimStep and as the reference half of the two-paths-one-answer
+// invariant.
+func (s *Simulator) arbitrateReference() []move {
 	var moves []move
 	// Ejections first: final-hop buffers always drain one flit.
 	for ci := range s.chans {
 		cs := &s.chans[ci]
-		if len(cs.buf) == 0 {
+		if cs.n == 0 {
 			continue
 		}
-		front := cs.buf[0]
-		p := s.packets[front.pkt]
-		hop := cs.hop[p.flow]
+		p := s.refPackets[cs.front().pkt.id]
+		hop := cs.refHop[p.flow]
 		if hop == len(s.flows[p.flow].routeCh)-1 {
-			moves = append(moves, move{src: ci, fl: p.flow, dst: -1})
+			moves = append(moves, move{src: ci, dst: -1})
 		}
 	}
-
 	// Link transfers: gather candidates per link, pick one round-robin.
 	byLink := make(map[topology.LinkID][]cand)
-	// Buffer-to-buffer candidates.
 	for ci := range s.chans {
 		cs := &s.chans[ci]
-		if len(cs.buf) == 0 {
+		if cs.n == 0 {
 			continue
 		}
-		front := cs.buf[0]
-		p := s.packets[front.pkt]
+		fr := cs.front()
+		p := s.refPackets[fr.pkt.id]
 		rt := s.flows[p.flow].routeCh
-		hop := cs.hop[p.flow]
+		hop := cs.refHop[p.flow]
 		if hop == len(rt)-1 {
 			continue // ejection, handled above
 		}
 		next := rt[hop+1]
 		ni := s.idx[next]
-		if !s.admissible(ni, front) {
+		if !s.admissible(ni, fr) {
 			continue
 		}
 		byLink[next.Link] = append(byLink[next.Link], cand{
-			m:   move{src: ci, fl: p.flow, dst: ni},
-			key: next.VC*2 + 0,
+			m:   move{src: ci, dst: ni},
+			key: candKey(int32(next.VC), 0, ci),
 		})
 	}
 	// Injection candidates.
 	for i := range s.flows {
 		fs := &s.flows[i]
-		if len(fs.queue) == 0 {
+		if fs.qlen() == 0 {
 			continue
 		}
-		p := fs.queue[0]
+		p := fs.qfront()
 		first := fs.routeCh[0]
 		ni := s.idx[first]
-		fr := flitRef{pkt: p.id, isHead: p.injected == 0, isTail: p.injected == p.flits-1}
+		fr := flitRef{pkt: p, isHead: p.injected == 0, isTail: p.injected == p.flits-1}
 		if !s.admissible(ni, fr) {
 			continue
 		}
 		byLink[first.Link] = append(byLink[first.Link], cand{
 			m:   move{src: -1, fl: fs.id, dst: ni},
-			key: first.VC*2 + 1,
+			key: candKey(int32(first.VC), 1, len(s.chans)+fs.id),
 		})
 	}
 	// Iterate links in ID order so the cycle outcome is independent of
@@ -273,80 +590,85 @@ func (s *Simulator) arbitrate() []move {
 	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
 	for _, link := range links {
 		cands := byLink[link]
-		if len(cands) == 1 {
-			moves = append(moves, cands[0].m)
-			continue
+		pick := 0
+		if len(cands) > 1 {
+			sortCands(cands)
+			pick = s.linkRR[link] % len(cands)
+			s.linkRR[link]++
 		}
-		// Deterministic round-robin: sort by key (VC, kind) then rotate.
-		sort.Slice(cands, func(i, j int) bool { return cands[i].key < cands[j].key })
-		pick := s.linkRR[link] % len(cands)
-		s.linkRR[link]++
 		moves = append(moves, cands[pick].m)
 	}
 	return moves
-}
-
-// cand is a link-transfer candidate with a deterministic ordering key.
-type cand struct {
-	m   move
-	key int
 }
 
 // admissible reports whether flit fr may enter channel ci this cycle
 // (ownership and buffer space against start-of-cycle state).
 func (s *Simulator) admissible(ci int, fr flitRef) bool {
 	cs := &s.chans[ci]
-	if len(cs.buf) >= s.cfg.BufferDepth {
+	if cs.n >= s.cfg.BufferDepth {
 		return false
 	}
-	if cs.owner == fr.pkt {
+	if cs.owner == fr.pkt.id {
 		return true
 	}
 	return cs.owner == -1 && fr.isHead
 }
 
-// apply executes one move decided by arbitrate.
+// apply executes one move decided by arbitrate. Moves within a cycle
+// commute: every source channel appears in at most one move, every
+// destination channel gains at most one flit, and admissibility was
+// judged against start-of-cycle state.
 func (s *Simulator) apply(m move) {
 	if m.dst == -1 {
 		// Ejection.
-		cs := &s.chans[m.src]
-		fr := cs.buf[0]
-		cs.buf = cs.buf[1:]
-		p := s.packets[fr.pkt]
+		fr := s.pop(m.src)
+		p := fr.pkt
 		p.ejected++
 		s.stats.DeliveredFlits++
 		if fr.isTail {
-			cs.owner = -1
+			s.chans[m.src].owner = -1
 			s.recordDelivery(p)
-			delete(s.packets, p.id)
+			s.live--
 			s.stats.DeliveredPackets++
+			if s.refPackets != nil {
+				delete(s.refPackets, p.id)
+			}
+			s.freePacket(p)
 		}
 		return
 	}
 	var fr flitRef
+	hop := 0
 	if m.src == -1 {
 		// Injection: consume the next flit of the flow's head packet.
 		fs := &s.flows[m.fl]
-		p := fs.queue[0]
-		fr = flitRef{pkt: p.id, isHead: p.injected == 0, isTail: p.injected == p.flits-1}
+		p := fs.qfront()
+		fr = flitRef{pkt: p, isHead: p.injected == 0, isTail: p.injected == p.flits-1}
 		p.injected++
 		s.stats.InjectedFlits++
 		if fr.isTail {
-			fs.queue = fs.queue[1:]
+			s.dequeue(m.fl)
 		}
 	} else {
 		src := &s.chans[m.src]
-		fr = src.buf[0]
-		src.buf = src.buf[1:]
+		hop = src.hop + 1
+		fr = s.pop(m.src)
 		if fr.isTail {
 			src.owner = -1
 		}
 	}
 	dst := &s.chans[m.dst]
 	if fr.isHead {
-		dst.owner = fr.pkt
+		dst.owner = fr.pkt.id
+		dst.hop = hop
+		ridx := s.flows[fr.pkt.flow].routeIdx
+		if hop == len(ridx)-1 {
+			dst.nextIdx = -1
+		} else {
+			dst.nextIdx = ridx[hop+1]
+		}
 	}
-	dst.buf = append(dst.buf, fr)
+	s.push(m.dst, fr)
 }
 
 func (s *Simulator) recordDelivery(p *packet) {
@@ -369,12 +691,7 @@ func (s *Simulator) recordDelivery(p *packet) {
 
 // flitsInFlight reports whether any channel buffer holds flits.
 func (s *Simulator) flitsInFlight() bool {
-	for ci := range s.chans {
-		if len(s.chans[ci].buf) > 0 {
-			return true
-		}
-	}
-	return false
+	return len(s.active) > 0
 }
 
 // drained reports whether drain mode has delivered every budgeted packet.
@@ -383,11 +700,11 @@ func (s *Simulator) drained() bool {
 		return false
 	}
 	for i := range s.flows {
-		if s.flows[i].created < s.cfg.PacketsPerFlow || len(s.flows[i].queue) > 0 {
+		if s.flows[i].created < s.cfg.PacketsPerFlow || s.flows[i].qlen() > 0 {
 			return false
 		}
 	}
-	return len(s.packets) == 0
+	return s.live == 0
 }
 
 // Run advances the simulation until MaxCycles, a confirmed deadlock
@@ -403,7 +720,7 @@ func (s *Simulator) Run() (*Stats, error) {
 			pkts := s.confirmDeadlock()
 			s.stats.Deadlocked = true
 			s.stats.DeadlockCycle = s.now
-			s.stats.DeadlockPackets = pkts
+			s.stats.DeadlockPackets = packetIDs(pkts)
 			break
 		}
 		if s.drained() {

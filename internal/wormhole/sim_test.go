@@ -337,18 +337,24 @@ func TestWormholeInvariants(t *testing.T) {
 		sim.Step()
 		for ci := range sim.chans {
 			cs := &sim.chans[ci]
-			if (cs.owner == -1) != (len(cs.buf) == 0) {
+			if (cs.owner == -1) != (cs.n == 0) {
 				t.Fatalf("cycle %d: channel %d owner/buffer invariant broken (owner %d, %d flits)",
-					i, ci, cs.owner, len(cs.buf))
+					i, ci, cs.owner, cs.n)
 			}
-			if len(cs.buf) > sim.cfg.BufferDepth {
-				t.Fatalf("cycle %d: channel %d overflows (%d flits)", i, ci, len(cs.buf))
+			if cs.n > sim.cfg.BufferDepth {
+				t.Fatalf("cycle %d: channel %d overflows (%d flits)", i, ci, cs.n)
 			}
-			for _, fr := range cs.buf {
-				if fr.pkt != cs.owner {
+			for k := 0; k < cs.n; k++ {
+				fr := cs.buf[(cs.head+k)%len(cs.buf)]
+				if fr.pkt.id != cs.owner {
 					t.Fatalf("cycle %d: foreign flit (pkt %d) in channel %d owned by %d",
-						i, fr.pkt, ci, cs.owner)
+						i, fr.pkt.id, ci, cs.owner)
 				}
+			}
+			// The active worklist must mirror buffer occupancy exactly.
+			if inList := sim.activePos[ci] >= 0; inList != (cs.n > 0) {
+				t.Fatalf("cycle %d: channel %d worklist membership %v with %d flits",
+					i, ci, inList, cs.n)
 			}
 		}
 	}

@@ -1,0 +1,282 @@
+package wormhole
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/nocdr/nocdr/internal/core"
+	"github.com/nocdr/nocdr/internal/regular"
+	"github.com/nocdr/nocdr/internal/route"
+	"github.com/nocdr/nocdr/internal/topology"
+	"github.com/nocdr/nocdr/internal/traffic"
+)
+
+// --- Differential: the dense/worklist engine and the Reference path must
+// decide identical moves on every cycle (two paths, one answer). ---
+
+// diffStats compares two stats snapshots field by field, ignoring the
+// collection order of Latencies (both runs record the same multiset; only
+// Run's finish pass sorts it).
+func diffStats(t *testing.T, label string, a, b Stats) {
+	t.Helper()
+	a.Latencies, b.Latencies = nil, nil
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s: fast and reference stats diverge:\nfast: %+v\nref:  %+v", label, a, b)
+	}
+}
+
+func diffScenario(t *testing.T, label string, build func() (*topology.Topology, *traffic.Graph, *route.Table), cfg Config, cycles int) {
+	t.Helper()
+	top, g, tab := build()
+	fast, err := New(top, g, tab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCfg := cfg
+	refCfg.Reference = true
+	ref, err := New(top, g, tab, refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cycles; i++ {
+		fm := fast.Step()
+		rm := ref.Step()
+		if fm != rm {
+			t.Fatalf("%s: cycle %d: fast progressed=%v, reference progressed=%v", label, i, fm, rm)
+		}
+		if i%64 == 0 {
+			diffStats(t, fmt.Sprintf("%s @ cycle %d", label, i), fast.Stats(), ref.Stats())
+		}
+	}
+	diffStats(t, label+" final", fast.Stats(), ref.Stats())
+}
+
+func TestReferenceMatchesFastStepwise(t *testing.T) {
+	saturated := Config{MaxCycles: 1 << 30, LoadFactor: 1.0, Seed: 7, BufferDepth: 2}
+	moderate := Config{MaxCycles: 1 << 30, LoadFactor: 0.4, Seed: 3}
+	drain := Config{MaxCycles: 1 << 30, PacketsPerFlow: 10, Seed: 5}
+
+	removed := func() (*topology.Topology, *traffic.Graph, *route.Table) {
+		top, g, tab := ringExample()
+		res, err := core.Remove(top, tab, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Topology, g, res.Routes
+	}
+
+	diffScenario(t, "cyclic ring saturated", ringExample, saturated, 2000)
+	diffScenario(t, "removed ring saturated", removed, saturated, 3000)
+	diffScenario(t, "removed ring moderate", removed, moderate, 3000)
+	diffScenario(t, "removed ring drain", removed, drain, 3000)
+}
+
+func TestReferenceMatchesFastRunOutcome(t *testing.T) {
+	// Full Run comparison including deadlock confirmation on the cyclic
+	// ring and clean completion after removal, with latency collection.
+	run := func(reference bool, remove bool) Stats {
+		top, g, tab := ringExample()
+		if remove {
+			res, err := core.Remove(top, tab, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			top, tab = res.Topology, res.Routes
+		}
+		sim, err := New(top, g, tab, Config{
+			MaxCycles:        20000,
+			LoadFactor:       1.0,
+			Seed:             9,
+			CollectLatencies: true,
+			Reference:        reference,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return *st
+	}
+	for _, remove := range []bool{false, true} {
+		fast, ref := run(false, remove), run(true, remove)
+		if !reflect.DeepEqual(fast, ref) {
+			t.Errorf("remove=%v: Run outcomes diverge:\nfast: %+v\nref:  %+v", remove, fast, ref)
+		}
+	}
+}
+
+// --- Seeded stress for detect.go and recovery.go under the new engine:
+// known-cyclic route sets must trip the detector, and recovery must drain
+// every packet of a finite workload through the same cyclic design. ---
+
+// sixRing builds a 6-switch unidirectional ring with stride-2 uniform
+// traffic routed forward — every link's dependency chain wraps, so the
+// CDG is one big cycle (the paper's Figure 1 family, scaled up).
+func sixRing(t *testing.T) (*topology.Topology, *traffic.Graph, *route.Table) {
+	t.Helper()
+	grid, err := regular.Ring(6, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := regular.UniformTraffic(6, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := regular.DORRoutes(grid, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return grid.Topology, g, tab
+}
+
+func TestDetectorStressSeeded(t *testing.T) {
+	builders := map[string]func() (*topology.Topology, *traffic.Graph, *route.Table){
+		"fig1_ring": func() (*topology.Topology, *traffic.Graph, *route.Table) { return ringExample() },
+		"six_ring":  func() (*topology.Topology, *traffic.Graph, *route.Table) { return sixRing(t) },
+	}
+	for name, build := range builders {
+		for seed := int64(1); seed <= 8; seed++ {
+			top, g, tab := build()
+			sim, err := New(top, g, tab, Config{
+				MaxCycles:   50000,
+				LoadFactor:  1.0,
+				Seed:        seed,
+				BufferDepth: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := sim.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st.Deadlocked {
+				t.Fatalf("%s seed %d: cyclic route set did not deadlock at saturation: %+v", name, seed, st)
+			}
+			if len(st.DeadlockPackets) < 2 {
+				t.Errorf("%s seed %d: watchdog fired but wait-for cycle has %d packets",
+					name, seed, len(st.DeadlockPackets))
+			}
+			for _, pid := range st.DeadlockPackets {
+				if len(sim.HeldChannels(pid)) == 0 {
+					t.Errorf("%s seed %d: deadlocked packet %d holds no channel", name, seed, pid)
+				}
+			}
+		}
+	}
+}
+
+func TestRecoveryStressDrainsAllPackets(t *testing.T) {
+	const perFlow = 25
+	var totalRecoveries int64
+	for seed := int64(1); seed <= 8; seed++ {
+		top, g, tab := ringExample()
+		sim, err := New(top, g, tab, Config{
+			MaxCycles:      500000,
+			PacketsPerFlow: perFlow,
+			Seed:           seed,
+			BufferDepth:    2,
+			Recovery:       true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Deadlocked {
+			t.Fatalf("seed %d: recovery enabled but run reports deadlock at cycle %d", seed, st.DeadlockCycle)
+		}
+		if !st.Drained {
+			t.Fatalf("seed %d: finite workload did not drain under recovery: %+v", seed, st)
+		}
+		want := int64(g.NumFlows() * perFlow)
+		if got := st.DeliveredPackets + st.LocalPackets; got != want {
+			t.Errorf("seed %d: delivered %d packets, want %d", seed, got, want)
+		}
+		if st.InjectedFlits != st.DeliveredFlits {
+			t.Errorf("seed %d: flits injected %d != delivered %d", seed, st.InjectedFlits, st.DeliveredFlits)
+		}
+		totalRecoveries += st.Recoveries
+	}
+	if totalRecoveries == 0 {
+		t.Error("no seed triggered a recovery on the cyclic ring; stress has no teeth")
+	}
+}
+
+// TestSourceQueueStorageBounded pins the bounded-memory contract of
+// SourceQueueCap: under sustained saturation the queue backing arrays
+// must stay O(cap), not grow one slot per delivered packet.
+func TestSourceQueueStorageBounded(t *testing.T) {
+	top, g, tab := ringExample()
+	res, err := core.Remove(top, tab, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(res.Topology, g, res.Routes, Config{MaxCycles: 1 << 30, LoadFactor: 1.0, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200000; i++ {
+		sim.Step()
+	}
+	for i := range sim.flows {
+		if n := len(sim.flows[i].queue); n > 64 {
+			t.Errorf("flow %d: queue backing array grew to %d entries under saturation", i, n)
+		}
+	}
+}
+
+// --- Input-sharing contract: Simulators never mutate their inputs, so
+// many of them may share one Topology/Graph/Table across goroutines.
+// CI runs this under -race, which is the actual assertion. ---
+
+func TestSimulatorsShareInputsAcrossGoroutines(t *testing.T) {
+	top, g, tab := ringExample()
+	res, err := core.Remove(top, tab, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	var wg sync.WaitGroup
+	stats := make([]*Stats, workers)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Half the goroutines simulate the removed design, half the
+			// original (which deadlocks) — both share the same inputs.
+			var sim *Simulator
+			var err error
+			if w%2 == 0 {
+				sim, err = New(res.Topology, g, res.Routes, Config{MaxCycles: 10000, LoadFactor: 1.0, Seed: int64(w + 1)})
+			} else {
+				sim, err = New(top, g, tab, Config{MaxCycles: 10000, LoadFactor: 1.0, Seed: int64(w + 1)})
+			}
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			stats[w], errs[w] = sim.Run()
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if w%2 == 0 && stats[w].Deadlocked {
+			t.Errorf("worker %d: removed design deadlocked", w)
+		}
+		if w%2 == 1 && !stats[w].Deadlocked {
+			t.Errorf("worker %d: cyclic design did not deadlock", w)
+		}
+	}
+}

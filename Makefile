@@ -21,11 +21,12 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# The pinned perf-gate benchmarks: simulator hot loop and removal runtime,
-# repeated so benchstat can establish significance. CI runs this on the PR
-# head and base and fails on a >15% sec/op regression.
+# The pinned perf-gate benchmarks: simulator hot loop, removal runtime,
+# and the Session-API overhead twin (which must track BenchmarkRemoval_
+# within ~2%), repeated so benchstat can establish significance. CI runs
+# this on the PR head and base and fails on a >15% sec/op regression.
 bench-pin:
-	$(GO) test -run='^$$' -bench='^(BenchmarkSimStep$$|BenchmarkRemoval_)' \
+	$(GO) test -run='^$$' -bench='^(BenchmarkSimStep$$|BenchmarkRemoval_|BenchmarkSessionOverhead$$)' \
 		-count=6 -benchtime=0.5s . | tee $(BENCH_OUT)
 
 fmt:
@@ -66,5 +67,19 @@ fuzz-smoke:
 # Examples have no test files; build each so they cannot silently rot.
 examples:
 	$(GO) build ./examples/...
+
+# Run every example end to end (CI fans this out as a matrix; locally it
+# is a serial smoke pass over the whole public API surface).
+examples-run:
+	@for d in examples/*/; do \
+		echo "== running $$d"; \
+		$(GO) run ./$$d > /dev/null || exit 1; \
+	done
+
+# End-to-end smoke of the HTTP job service: start `nocdr serve`, POST a
+# benchmark design to /v1/remove, poll the job, and jq-assert the result
+# is deadlock-free. CI runs this as its own job.
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 ci: build vet fmt lint race examples sweep-smoke

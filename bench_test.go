@@ -9,6 +9,7 @@ package nocdr_test
 // cover the design choices DESIGN.md calls out.
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -101,14 +102,14 @@ func BenchmarkFig10_PowerComparison(b *testing.B) {
 
 func BenchmarkTable1_CostTable(b *testing.B) {
 	top, _, tab := buildRing()
-	g, err := nocdr.BuildCDG(top, tab)
+	g, err := nocdr.NewSession().BuildCDG(top, tab)
 	if err != nil {
 		b.Fatal(err)
 	}
 	cycle := g.SmallestCycle()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := nocdr.ForwardCostTable(cycle, tab); err != nil {
+		if _, err := nocdr.NewSession().CostTable(nocdr.Forward, cycle, tab); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -167,11 +168,11 @@ func benchSimStep(b *testing.B, name string, reference bool) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	rm, err := nocdr.RemoveDeadlocks(des.Topology, des.Routes, nocdr.RemovalOptions{})
+	rm, err := nocdr.NewSession().RemoveDeadlocks(context.Background(), des.Topology, des.Routes)
 	if err != nil {
 		b.Fatal(err)
 	}
-	sim, err := nocdr.NewSimulator(rm.Topology, g, rm.Routes, nocdr.SimConfig{
+	sim, err := nocdr.NewSession().NewSimulator(rm.Topology, g, rm.Routes, nocdr.SimConfig{
 		MaxCycles:  1 << 62,
 		LoadFactor: 0.1,
 		Seed:       11,
@@ -211,7 +212,7 @@ func BenchmarkSimulation_RingSaturation(b *testing.B) {
 	var deadlocked float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		st, err := nocdr.Simulate(top, g, tab, nocdr.SimConfig{
+		st, err := nocdr.NewSession().Simulate(context.Background(), top, g, tab, nocdr.SimConfig{
 			MaxCycles:  20000,
 			LoadFactor: 1.0,
 			Seed:       7,
@@ -228,14 +229,14 @@ func BenchmarkSimulation_RingSaturation(b *testing.B) {
 
 func BenchmarkSimulation_RingAfterRemoval(b *testing.B) {
 	top, g, tab := buildRing()
-	res, err := nocdr.RemoveDeadlocks(top, tab, nocdr.RemovalOptions{})
+	res, err := nocdr.NewSession().RemoveDeadlocks(context.Background(), top, tab)
 	if err != nil {
 		b.Fatal(err)
 	}
 	var deadlocked float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		st, err := nocdr.Simulate(res.Topology, g, res.Routes, nocdr.SimConfig{
+		st, err := nocdr.NewSession().Simulate(context.Background(), res.Topology, g, res.Routes, nocdr.SimConfig{
 			MaxCycles:  20000,
 			LoadFactor: 1.0,
 			Seed:       7,
@@ -473,4 +474,67 @@ func BenchmarkExtension_TorusDateline(b *testing.B) {
 		added = res.AddedVCs
 	}
 	b.ReportMetric(float64(added), "VCs")
+}
+
+// --- Session overhead: the context-first pipeline API must be free. ---
+
+// BenchmarkSessionOverhead mirrors BenchmarkRemoval_D26Media through the
+// Session path with an attached (cheap) progress feed — the worst case
+// for the new plumbing: per-break event construction plus the
+// cancellation checks in the removal loop. The benchstat perf gate pins
+// it next to BenchmarkRemoval_; the Session plumbing budget is < 2% over
+// the direct core.Remove path.
+func BenchmarkSessionOverhead(b *testing.B) {
+	des := design(b, "D26_media", 14)
+	events := 0
+	s := nocdr.NewSession(nocdr.WithProgress(func(e nocdr.Event) { events++ }))
+	ctx := context.Background()
+	b.ResetTimer()
+	var added int
+	for i := 0; i < b.N; i++ {
+		res, err := s.RemoveDeadlocks(ctx, des.Topology, des.Routes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		added = res.AddedVCs
+	}
+	b.ReportMetric(float64(added), "VCs")
+}
+
+// BenchmarkSessionOverheadSimStep is the simulator-side twin: a Session
+// simulator stepping under a context-checked Run loop, against the same
+// steady-state workload BenchmarkSimStep times. (Step itself is shared;
+// the cancellation poll lives in RunContext, amortized over 1024 cycles,
+// so this mainly guards the epoch-feed wiring.)
+func BenchmarkSessionOverheadSimStep(b *testing.B) {
+	g, err := traffic.ByName("D26_media")
+	if err != nil {
+		b.Fatal(err)
+	}
+	des, err := synth.Synthesize(g, synth.Options{SwitchCount: 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := nocdr.NewSession()
+	ctx := context.Background()
+	rm, err := s.RemoveDeadlocks(ctx, des.Topology, des.Routes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := s.NewSimulator(rm.Topology, g, rm.Routes, nocdr.SimConfig{
+		MaxCycles:  1 << 62,
+		LoadFactor: 0.1,
+		Seed:       11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		sim.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step()
+	}
 }

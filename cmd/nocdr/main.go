@@ -13,37 +13,51 @@
 //	nocdr sim      -topology t.json -traffic g.json -routes r.json [-cycles N] [-load F] [-packets P]
 //	nocdr dot      -topology t.json [-cdg -routes r.json]
 //	nocdr bench    -name D26_media -out g.json
+//	nocdr serve    [-addr host:port] [-workers N] [-sweep-parallel N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	nocdr "github.com/nocdr/nocdr"
 )
+
+// sess is the CLI's pipeline session; commands needing policy overrides
+// derive their own.
+var sess = nocdr.NewSession()
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
 	}
+	// Long-running commands (remove, synth, sim) stop cooperatively on
+	// Ctrl-C / SIGTERM through this context.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "check":
 		err = runCheck(os.Args[2:])
 	case "remove":
-		err = runRemove(os.Args[2:])
+		err = runRemove(ctx, os.Args[2:])
 	case "ordering":
 		err = runOrdering(os.Args[2:])
 	case "synth":
-		err = runSynth(os.Args[2:])
+		err = runSynth(ctx, os.Args[2:])
 	case "sim":
-		err = runSim(os.Args[2:])
+		err = runSim(ctx, os.Args[2:])
 	case "dot":
 		err = runDot(os.Args[2:])
 	case "bench":
 		err = runBench(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -69,6 +83,7 @@ commands:
   sim       simulate wormhole traffic on a routed design
   dot       render a topology (or its CDG) as Graphviz DOT
   bench     write one of the built-in SoC benchmarks as a traffic JSON file
+  serve     run the HTTP/JSON job service (/v1/remove, /v1/sweep, /v1/simulate)
 
 run "nocdr <command> -h" for the flags of each command.`)
 }
@@ -109,7 +124,7 @@ func runCheck(args []string) error {
 	if err != nil {
 		return err
 	}
-	g, err := nocdr.BuildCDG(top, tab)
+	g, err := sess.BuildCDG(top, tab)
 	if err != nil {
 		return err
 	}
@@ -130,7 +145,7 @@ func runCheck(args []string) error {
 	return nil
 }
 
-func runRemove(args []string) error {
+func runRemove(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("remove", flag.ExitOnError)
 	topoPath := fs.String("topology", "", "topology JSON file")
 	routesPath := fs.String("routes", "", "routes JSON file")
@@ -138,12 +153,13 @@ func runRemove(args []string) error {
 	outTopo := fs.String("out-topology", "", "write modified topology JSON here")
 	outRoutes := fs.String("out-routes", "", "write modified routes JSON here")
 	verbose := fs.Bool("v", false, "log every cycle break")
+	vcLimit := fs.Int("vc-limit", 0, "fail (ErrVCLimit) if removal would add more than this many VCs; 0 = unlimited")
 	fs.Parse(args)
 	top, tab, g, err := loadDesign(*topoPath, *routesPath, *trafficPath)
 	if err != nil {
 		return err
 	}
-	res, err := nocdr.RemoveDeadlocks(top, tab, nocdr.RemovalOptions{})
+	res, err := nocdr.NewSession(nocdr.WithVCLimit(*vcLimit)).RemoveDeadlocks(ctx, top, tab)
 	if err != nil {
 		return err
 	}
@@ -207,7 +223,7 @@ func runOrdering(args []string) error {
 	default:
 		return fmt.Errorf("unknown scheme %q (hop, bfs, id)", *schemeName)
 	}
-	res, err := nocdr.ApplyResourceOrdering(top, tab, scheme)
+	res, err := sess.ApplyResourceOrdering(top, tab, scheme)
 	if err != nil {
 		return err
 	}
@@ -226,7 +242,7 @@ func runOrdering(args []string) error {
 	return nil
 }
 
-func runSynth(args []string) error {
+func runSynth(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("synth", flag.ExitOnError)
 	trafficPath := fs.String("traffic", "", "traffic JSON file")
 	switches := fs.Int("switches", 0, "number of switches")
@@ -241,14 +257,14 @@ func runSynth(args []string) error {
 	if err != nil {
 		return err
 	}
-	design, err := nocdr.Synthesize(g, nocdr.SynthOptions{
+	design, err := sess.Synthesize(ctx, g, nocdr.SynthOptions{
 		SwitchCount:  *switches,
 		MaxNeighbors: *neighbors,
 	})
 	if err != nil {
 		return err
 	}
-	free, err := nocdr.DeadlockFree(design.Topology, design.Routes)
+	free, err := sess.DeadlockFree(design.Topology, design.Routes)
 	if err != nil {
 		return err
 	}
@@ -268,7 +284,7 @@ func runSynth(args []string) error {
 	return nil
 }
 
-func runSim(args []string) error {
+func runSim(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sim", flag.ExitOnError)
 	topoPath := fs.String("topology", "", "topology JSON file")
 	routesPath := fs.String("routes", "", "routes JSON file")
@@ -285,7 +301,7 @@ func runSim(args []string) error {
 	if err != nil {
 		return err
 	}
-	st, err := nocdr.Simulate(top, g, tab, nocdr.SimConfig{
+	st, err := sess.Simulate(ctx, top, g, tab, nocdr.SimConfig{
 		MaxCycles:      *cycles,
 		LoadFactor:     *load,
 		PacketsPerFlow: *packets,
@@ -333,7 +349,7 @@ func runDot(args []string) error {
 	if err != nil {
 		return err
 	}
-	g, err := nocdr.BuildCDG(top, tab)
+	g, err := sess.BuildCDG(top, tab)
 	if err != nil {
 		return err
 	}

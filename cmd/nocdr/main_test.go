@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -77,7 +78,7 @@ func TestRunRemoveWritesOutputs(t *testing.T) {
 	dir := t.TempDir()
 	outTopo := filepath.Join(dir, "fixed-topo.json")
 	outRoutes := filepath.Join(dir, "fixed-routes.json")
-	err := runRemove([]string{
+	err := runRemove(context.Background(), []string{
 		"-topology", topo, "-routes", routes, "-traffic", tr,
 		"-out-topology", outTopo, "-out-routes", outRoutes, "-v",
 	})
@@ -92,7 +93,7 @@ func TestRunRemoveWritesOutputs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	free, err := nocdr.DeadlockFree(fixedTop, fixedTab)
+	free, err := nocdr.NewSession().DeadlockFree(fixedTop, fixedTab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,24 +130,24 @@ func TestRunSynthAndSim(t *testing.T) {
 	dir := t.TempDir()
 	outTopo := filepath.Join(dir, "synth-topo.json")
 	outRoutes := filepath.Join(dir, "synth-routes.json")
-	err := runSynth([]string{
+	err := runSynth(context.Background(), []string{
 		"-traffic", tr, "-switches", "3",
 		"-out-topology", outTopo, "-out-routes", outRoutes,
 	})
 	if err != nil {
 		t.Fatalf("synth failed: %v", err)
 	}
-	err = runSim([]string{
+	err = runSim(context.Background(), []string{
 		"-topology", outTopo, "-routes", outRoutes, "-traffic", tr,
 		"-cycles", "5000", "-packets", "10",
 	})
 	if err != nil {
 		t.Fatalf("sim failed: %v", err)
 	}
-	if err := runSynth([]string{"-switches", "3"}); err == nil {
+	if err := runSynth(context.Background(), []string{"-switches", "3"}); err == nil {
 		t.Error("synth without traffic accepted")
 	}
-	if err := runSim([]string{"-topology", outTopo, "-routes", outRoutes}); err == nil {
+	if err := runSim(context.Background(), []string{"-topology", outTopo, "-routes", outRoutes}); err == nil {
 		t.Error("sim without traffic accepted")
 	}
 }

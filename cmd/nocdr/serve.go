@@ -1,0 +1,57 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/nocdr/nocdr/internal/serve"
+)
+
+// runServe implements `nocdr serve`: the HTTP/JSON job service over the
+// removal/sweep/simulation pipeline (see internal/serve for the API).
+// SIGINT/SIGTERM shut it down gracefully: in-flight jobs get their
+// contexts canceled, the pool drains, then the listener closes.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	workers := fs.Int("workers", 0, "job pool size (0 = max(8, NumCPU))")
+	sweepParallel := fs.Int("sweep-parallel", 0, "per-sweep runner worker count (0 = NumCPU)")
+	fs.Parse(args)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := serve.New(serve.Options{Workers: *workers, SweepParallel: *sweepParallel})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "nocdr serve: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "nocdr serve: shutting down")
+	// Cancel job contexts first: SSE handlers block until their job is
+	// terminal, and Shutdown waits for those handlers — canceling after
+	// Shutdown would always ride out the full timeout.
+	srv.Cancel()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := httpSrv.Shutdown(shutdownCtx)
+	srv.Close()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

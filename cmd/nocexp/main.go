@@ -23,10 +23,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"github.com/nocdr/nocdr/internal/bench"
 	"github.com/nocdr/nocdr/internal/traffic"
@@ -34,7 +37,14 @@ import (
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "sweep" {
-		if err := runSweep(os.Args[2:], os.Stdout, os.Stderr); err != nil {
+		// Ctrl-C / SIGTERM cancel the sweep cooperatively: workers
+		// drain, and the partial JSON report is still written, marked
+		// "canceled": true. A second signal kills the process the
+		// default way (NotifyContext unregisters after the first).
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		err := runSweep(ctx, os.Args[2:], os.Stdout, os.Stderr)
+		stop()
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "nocexp sweep:", err)
 			os.Exit(1)
 		}

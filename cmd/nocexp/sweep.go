@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -17,7 +18,13 @@ import (
 // runSweep implements the `nocexp sweep` subcommand: parse the grid and
 // engine flags, fan the jobs out, print the table, optionally write the
 // deterministic JSON report.
-func runSweep(args []string, stdout, stderr io.Writer) error {
+//
+// ctx carries the interrupt wiring (signal.NotifyContext in main): on
+// Ctrl-C the worker pool drains, in-flight cells return through their
+// cancellation checks, and the table and JSON report are still written —
+// valid but partial, marked "canceled": true — before runSweep returns a
+// non-nil error.
+func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	benchmarks := fs.String("benchmarks", "all",
@@ -66,7 +73,7 @@ func runSweep(args []string, stdout, stderr io.Writer) error {
 	if !*quiet {
 		opts.Progress = stderr
 	}
-	rep, err := runner.Run(grid, opts)
+	rep, err := runner.RunContext(ctx, grid, opts)
 	if err != nil {
 		return err
 	}
@@ -105,7 +112,25 @@ func runSweep(args []string, stdout, stderr io.Writer) error {
 			}
 		}
 	}
+	if rep.Canceled {
+		done := 0
+		for _, r := range rep.Results {
+			if !r.Canceled {
+				done++
+			}
+		}
+		return fmt.Errorf("interrupted: %d of %d jobs completed (partial report%s marked canceled)",
+			done, len(rep.Results), jsonNote(*jsonOut))
+	}
 	return nil
+}
+
+// jsonNote names the written report file in the cancellation message.
+func jsonNote(path string) string {
+	if path == "" {
+		return ""
+	}
+	return " " + path
 }
 
 // writeSimSummary prints the verification verdict of a simulated sweep:

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -17,10 +19,10 @@ func TestSweepSerialParallelJSONIdentical(t *testing.T) {
 	serialPath := filepath.Join(dir, "serial.json")
 	parallelPath := filepath.Join(dir, "parallel.json")
 	base := []string{"-switches", "5,8,11,14", "-quiet"}
-	if err := runSweep(append(base, "-parallel", "1", "-json", serialPath), io.Discard, io.Discard); err != nil {
+	if err := runSweep(context.Background(), append(base, "-parallel", "1", "-json", serialPath), io.Discard, io.Discard); err != nil {
 		t.Fatal(err)
 	}
-	if err := runSweep(append(base, "-parallel", "8", "-json", parallelPath), io.Discard, io.Discard); err != nil {
+	if err := runSweep(context.Background(), append(base, "-parallel", "8", "-json", parallelPath), io.Discard, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	serial, err := os.ReadFile(serialPath)
@@ -41,7 +43,7 @@ func TestSweepSerialParallelJSONIdentical(t *testing.T) {
 
 func TestSweepTableOutput(t *testing.T) {
 	var out bytes.Buffer
-	err := runSweep([]string{"-benchmarks", "D36_8", "-switches", "10", "-policies", "smallest,first", "-quiet"},
+	err := runSweep(context.Background(), []string{"-benchmarks", "D36_8", "-switches", "10", "-policies", "smallest,first", "-quiet"},
 		&out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
@@ -55,7 +57,7 @@ func TestSweepTableOutput(t *testing.T) {
 
 func TestSweepRandSpecAndFullRebuild(t *testing.T) {
 	var out bytes.Buffer
-	err := runSweep([]string{"-benchmarks", "rand:16x4", "-switches", "6,8", "-seeds", "1,2",
+	err := runSweep(context.Background(), []string{"-benchmarks", "rand:16x4", "-switches", "6,8", "-seeds", "1,2",
 		"-full-rebuild", "-quiet"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
@@ -69,7 +71,7 @@ func TestSweepSimulate(t *testing.T) {
 	dir := t.TempDir()
 	jsonPath := filepath.Join(dir, "sim.json")
 	var out bytes.Buffer
-	err := runSweep([]string{"-simulate", "-benchmarks", "D26_media,torus:4x4:uniform",
+	err := runSweep(context.Background(), []string{"-simulate", "-benchmarks", "D26_media,torus:4x4:uniform",
 		"-switches", "8", "-seeds", "0,1", "-quiet", "-json", jsonPath}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
@@ -97,7 +99,7 @@ func TestSweepSimulate(t *testing.T) {
 
 func TestSweepWithoutSimulateHasNoSimBlock(t *testing.T) {
 	var out bytes.Buffer
-	err := runSweep([]string{"-benchmarks", "D26_media", "-switches", "8", "-quiet"}, &out, io.Discard)
+	err := runSweep(context.Background(), []string{"-benchmarks", "D26_media", "-switches", "8", "-quiet"}, &out, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,13 +109,57 @@ func TestSweepWithoutSimulateHasNoSimBlock(t *testing.T) {
 }
 
 func TestSweepRejectsBadFlags(t *testing.T) {
-	if err := runSweep([]string{"-benchmarks", "no_such"}, io.Discard, io.Discard); err == nil {
+	if err := runSweep(context.Background(), []string{"-benchmarks", "no_such"}, io.Discard, io.Discard); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if err := runSweep([]string{"-switches", "five"}, io.Discard, io.Discard); err == nil {
+	if err := runSweep(context.Background(), []string{"-switches", "five"}, io.Discard, io.Discard); err == nil {
 		t.Error("non-numeric switch count accepted")
 	}
-	if err := runSweep([]string{"extra"}, io.Discard, io.Discard); err == nil {
+	if err := runSweep(context.Background(), []string{"extra"}, io.Discard, io.Discard); err == nil {
 		t.Error("positional argument accepted")
+	}
+}
+
+// TestSweepCanceledPartialReport pins the interrupt contract: a canceled
+// sweep still writes a valid JSON report, marked canceled, with every
+// unfinished cell marked canceled too, and runSweep reports the
+// interruption as an error.
+func TestSweepCanceledPartialReport(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "partial.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before any job is scheduled: everything partial
+	err := runSweep(ctx, []string{"-benchmarks", "D26_media", "-switches", "8,11", "-quiet",
+		"-json", jsonPath}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("expected interruption error, got %v", err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("canceled sweep wrote no JSON report: %v", err)
+	}
+	var rep struct {
+		Canceled bool `json:"canceled"`
+		Results  []struct {
+			Benchmark string `json:"benchmark"`
+			Canceled  bool   `json:"canceled"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("partial report is not valid JSON: %v", err)
+	}
+	if !rep.Canceled {
+		t.Fatal("partial report not marked canceled")
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("partial report has %d result slots, want 2", len(rep.Results))
+	}
+	for i, r := range rep.Results {
+		if !r.Canceled {
+			t.Fatalf("result %d not marked canceled", i)
+		}
+		if r.Benchmark != "D26_media" {
+			t.Fatalf("result %d lost its job identity: %q", i, r.Benchmark)
+		}
 	}
 }

@@ -1,0 +1,47 @@
+package nocdr
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/nocdr/nocdr/internal/nocerr"
+)
+
+// Typed sentinel errors. Every error returned by the public API wraps one
+// of these (or carries the "nocdr: " prefix directly), so callers can
+// branch with errors.Is instead of string matching:
+//
+//	_, err := s.RemoveDeadlocks(ctx, top, tab)
+//	switch {
+//	case errors.Is(err, nocdr.ErrVCLimit):   // budget too small
+//	case errors.Is(err, nocdr.ErrCanceled):  // ctx fired; also matches context.Canceled
+//	case errors.Is(err, nocdr.ErrCyclicCDG): // removal could not finish
+//	}
+var (
+	// ErrCyclicCDG reports that a channel dependency graph is (still)
+	// cyclic where an acyclic one was required.
+	ErrCyclicCDG = nocerr.ErrCyclicCDG
+	// ErrVCLimit reports that removal would exceed WithVCLimit's budget.
+	ErrVCLimit = nocerr.ErrVCLimit
+	// ErrCanceled reports cooperative cancellation; errors wrapping it
+	// also wrap the context's own error, so errors.Is(err,
+	// context.Canceled) and errors.Is(err, context.DeadlineExceeded)
+	// keep working.
+	ErrCanceled = nocerr.ErrCanceled
+	// ErrInvalidInput reports malformed or inconsistent inputs.
+	ErrInvalidInput = nocerr.ErrInvalidInput
+	// ErrNotFound reports a lookup miss (unknown benchmark, unknown job).
+	ErrNotFound = nocerr.ErrNotFound
+)
+
+// wrapErr gives every error leaving the public API the uniform "nocdr: "
+// prefix exactly once, preserving the wrapped chain for errors.Is/As.
+func wrapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if strings.HasPrefix(err.Error(), "nocdr: ") {
+		return err
+	}
+	return fmt.Errorf("nocdr: %w", err)
+}

@@ -1,0 +1,95 @@
+package nocdr
+
+import (
+	"fmt"
+
+	"github.com/nocdr/nocdr/internal/bench/runner"
+	"github.com/nocdr/nocdr/internal/wormhole"
+)
+
+// EventKind discriminates the entries of a Session's progress feed.
+type EventKind int
+
+const (
+	// EventCycleBroken fires after every executed Algorithm 1 cycle
+	// break; Event.Break carries the full record.
+	EventCycleBroken EventKind = iota + 1
+	// EventVCAdded fires once per virtual channel the removal provisions
+	// (a break adding k channels emits k of these after its
+	// EventCycleBroken); Event.Channel names the new channel.
+	EventVCAdded
+	// EventSweepCell fires when one sweep grid cell completes;
+	// Event.Cell carries its result, Event.CellIndex/CellTotal its slot.
+	EventSweepCell
+	// EventSimEpoch fires every SimConfig.EpochCycles simulated cycles
+	// of a Session simulation; Event.Epoch carries the snapshot.
+	EventSimEpoch
+)
+
+// String names the kind for logs ("cycle_broken", "vc_added", ...).
+func (k EventKind) String() string {
+	switch k {
+	case EventCycleBroken:
+		return "cycle_broken"
+	case EventVCAdded:
+		return "vc_added"
+	case EventSweepCell:
+		return "sweep_cell"
+	case EventSimEpoch:
+		return "sim_epoch"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// SimEpoch is one periodic progress snapshot of a running simulation.
+type SimEpoch = wormhole.EpochStats
+
+// Sweep surface, re-exported from the concurrent experiment engine.
+type (
+	// SweepGrid spans a sweep's (benchmark × switches × policy × seed)
+	// job space; the zero value is the paper's default grid.
+	SweepGrid = runner.Grid
+	// SweepJob is one point of the grid.
+	SweepJob = runner.Job
+	// SweepResult is one evaluated grid cell.
+	SweepResult = runner.Result
+	// SweepReport is a completed (possibly canceled-partial) sweep.
+	SweepReport = runner.Report
+	// SimParams parameterizes a sweep's flit-level verification stage.
+	SimParams = runner.SimParams
+)
+
+// SweepOptions configures Session.Sweep beyond what the Session already
+// carries (worker count, removal policy, rebuild path).
+type SweepOptions struct {
+	// Simulate adds the flit-level verification stage to every cell.
+	Simulate bool
+	// Sim parameterizes the simulations when Simulate is set.
+	Sim SimParams
+}
+
+// Event is one entry of a Session's progress feed (see WithProgress).
+// Kind selects which of the payload fields are meaningful; the feed is
+// delivered synchronously on the goroutine doing the work, so handlers
+// must be fast and must not call back into the same Session operation.
+type Event struct {
+	Kind EventKind
+
+	// Iteration is the 1-based break ordinal (EventCycleBroken,
+	// EventVCAdded).
+	Iteration int
+	// Break is the executed break (EventCycleBroken).
+	Break *BreakRecord
+	// Channel is the provisioned virtual channel (EventVCAdded).
+	Channel Channel
+
+	// CellIndex/CellTotal locate a completed sweep cell
+	// (EventSweepCell).
+	CellIndex int
+	CellTotal int
+	// Cell is the completed cell's result (EventSweepCell).
+	Cell *SweepResult
+
+	// Epoch is the simulation snapshot (EventSimEpoch).
+	Epoch *SimEpoch
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -17,6 +18,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	s := nocdr.NewSession()
 	dir, err := os.MkdirTemp("", "nocdr-example")
 	if err != nil {
 		log.Fatal(err)
@@ -69,7 +72,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	routes, err := nocdr.ComputeRoutes(top2, g2)
+	routes, err := s.ComputeRoutes(top2, g2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,13 +80,13 @@ func main() {
 		log.Fatal(err)
 	}
 
-	free, err := nocdr.DeadlockFree(top2, routes)
+	free, err := s.DeadlockFree(top2, routes)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nloaded design deadlock-free:", free)
 	if !free {
-		cdgGraph, err := nocdr.BuildCDG(top2, routes)
+		cdgGraph, err := s.BuildCDG(top2, routes)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -95,7 +98,7 @@ func main() {
 		fmt.Println()
 	}
 
-	res, err := nocdr.RemoveDeadlocks(top2, routes, nocdr.RemovalOptions{})
+	res, err := s.RemoveDeadlocks(ctx, top2, routes)
 	if err != nil {
 		log.Fatal(err)
 	}

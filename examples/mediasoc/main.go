@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	s := nocdr.NewSession()
 	g, err := nocdr.Benchmark("D26_media")
 	if err != nil {
 		log.Fatal(err)
@@ -27,18 +30,18 @@ func main() {
 	fmt.Println("switches | links | removal VCs | ordering VCs | removal mW | ordering mW")
 	fmt.Println("---------+-------+-------------+--------------+------------+------------")
 	for _, switches := range []int{5, 10, 14, 20, 25} {
-		design, err := nocdr.Synthesize(g, nocdr.SynthOptions{SwitchCount: switches})
+		design, err := s.Synthesize(ctx, g, nocdr.SynthOptions{SwitchCount: switches})
 		if err != nil {
 			log.Fatal(err)
 		}
-		rm, err := nocdr.RemoveDeadlocks(design.Topology, design.Routes, nocdr.RemovalOptions{})
+		rm, err := s.RemoveDeadlocks(ctx, design.Topology, design.Routes)
 		if err != nil {
 			log.Fatal(err)
 		}
 		if err := rm.Verify(); err != nil {
 			log.Fatalf("verification failed at %d switches: %v", switches, err)
 		}
-		ro, err := nocdr.ApplyResourceOrdering(design.Topology, design.Routes, nocdr.HopIndex)
+		ro, err := s.ApplyResourceOrdering(design.Topology, design.Routes, nocdr.HopIndex)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -15,6 +16,11 @@ import (
 )
 
 func main() {
+	// The Session is the pipeline front door: it carries policy and the
+	// progress feed, and every long-running call takes a context.
+	ctx := context.Background()
+	s := nocdr.NewSession()
+
 	// Figure 1: switches SW1..SW4 in a ring, one core each, links L1..L4.
 	top := nocdr.NewTopology("figure1")
 	for i := 0; i < 4; i++ {
@@ -54,7 +60,7 @@ func main() {
 	}
 
 	// Figure 2: the CDG has the cycle L1→L2→L3→L4→L1.
-	cdgGraph, err := nocdr.BuildCDG(top, routes)
+	cdgGraph, err := s.BuildCDG(top, routes)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,7 +82,7 @@ func main() {
 
 	// Table 1: the forward cost table over that cycle.
 	fmt.Println("\n== Table 1: forward cost table ==")
-	ct, err := nocdr.ForwardCostTable(cycle, routes)
+	ct, err := s.CostTable(nocdr.Forward, cycle, routes)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,7 +105,7 @@ func main() {
 	fmt.Printf("\n=> cheapest break: edge D%d at cost %d\n", ct.BestEdge+1, ct.BestCost)
 
 	// Figures 3–4: run the removal algorithm.
-	res, err := nocdr.RemoveDeadlocks(top, routes, nocdr.RemovalOptions{})
+	res, err := s.RemoveDeadlocks(ctx, top, routes)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -121,7 +127,7 @@ func main() {
 	for _, r := range res.Routes.Routes() {
 		fmt.Printf("  F%d: %s\n", r.FlowID+1, r.String(res.Topology))
 	}
-	free, err := nocdr.DeadlockFree(res.Topology, res.Routes)
+	free, err := s.DeadlockFree(res.Topology, res.Routes)
 	if err != nil {
 		log.Fatal(err)
 	}

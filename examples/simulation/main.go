@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -64,17 +65,19 @@ func report(title string, st *nocdr.SimStats) {
 }
 
 func main() {
+	ctx := context.Background()
+	s := nocdr.NewSession()
 	top, g, routes := buildRing()
 
 	// Phase 1: the unmodified design at saturation. Its CDG is cyclic
 	// (L1→L2→L3→L4→L1), so wormhole packets can — and quickly do — form
 	// a cyclic wait.
-	free, err := nocdr.DeadlockFree(top, routes)
+	free, err := s.DeadlockFree(top, routes)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("original design deadlock-free per CDG analysis: %v\n\n", free)
-	st, err := nocdr.Simulate(top, g, routes, nocdr.SimConfig{
+	st, err := s.Simulate(ctx, top, g, routes, nocdr.SimConfig{
 		MaxCycles:  50000,
 		LoadFactor: 1.0,
 		Seed:       7,
@@ -86,12 +89,12 @@ func main() {
 
 	// Phase 2: repair with the paper's algorithm (adds L1', reroutes the
 	// flows creating the broken dependency) and rerun the same workload.
-	res, err := nocdr.RemoveDeadlocks(top, routes, nocdr.RemovalOptions{})
+	res, err := s.RemoveDeadlocks(ctx, top, routes)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("removal: %d cycle(s) broken, %d VC(s) added\n\n", res.Iterations, res.AddedVCs)
-	st, err = nocdr.Simulate(res.Topology, g, res.Routes, nocdr.SimConfig{
+	st, err = s.Simulate(ctx, res.Topology, g, res.Routes, nocdr.SimConfig{
 		MaxCycles:  50000,
 		LoadFactor: 1.0,
 		Seed:       7,
@@ -102,7 +105,7 @@ func main() {
 	report("repaired design, saturation load", st)
 
 	// Phase 3: a finite workload must drain to the last flit.
-	st, err = nocdr.Simulate(res.Topology, g, res.Routes, nocdr.SimConfig{
+	st, err = s.Simulate(ctx, res.Topology, g, res.Routes, nocdr.SimConfig{
 		MaxCycles:      200000,
 		PacketsPerFlow: 100,
 	})
@@ -114,7 +117,7 @@ func main() {
 	// Phase 4: the runtime alternative — keep the deadlock-prone design
 	// and let DISHA-style recovery fish packets out of every deadlock.
 	// It works, but throughput collapses compared to the repaired design.
-	st, err = nocdr.Simulate(top, g, routes, nocdr.SimConfig{
+	st, err = s.Simulate(ctx, top, g, routes, nocdr.SimConfig{
 		MaxCycles:  50000,
 		LoadFactor: 1.0,
 		Seed:       7,

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,16 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	// The progress feed streams each dateline break as it happens — the
+	// observability hook `nocdr serve` exposes over SSE.
+	s := nocdr.NewSession(nocdr.WithProgress(func(e nocdr.Event) {
+		if e.Kind == nocdr.EventCycleBroken {
+			fmt.Printf("  [event] break %d: %s cycle of %d channels, cost %d\n",
+				e.Iteration, e.Break.Direction, len(e.Break.Cycle), e.Break.Cost)
+		}
+	}))
+
 	const size = 4
 	grid, err := nocdr.Torus(size, size)
 	if err != nil {
@@ -46,7 +57,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	g, err := nocdr.BuildCDG(grid.Topology, routes)
+	g, err := s.BuildCDG(grid.Topology, routes)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +70,8 @@ func main() {
 		fmt.Println()
 	}
 
-	res, err := nocdr.RemoveDeadlocks(grid.Topology, routes, nocdr.RemovalOptions{})
+	fmt.Println("\nremoval progress:")
+	res, err := s.RemoveDeadlocks(ctx, grid.Topology, routes)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,11 +88,11 @@ func main() {
 
 	// Prove it dynamically at saturation with tight buffers.
 	cfg := nocdr.SimConfig{MaxCycles: 30000, LoadFactor: 1.0, BufferDepth: 2, Seed: 3}
-	before, err := nocdr.Simulate(grid.Topology, tg, routes, cfg)
+	before, err := s.Simulate(ctx, grid.Topology, tg, routes, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	after, err := nocdr.Simulate(res.Topology, tg, res.Routes, cfg)
+	after, err := s.Simulate(ctx, res.Topology, tg, res.Routes, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@ package nocdr_test
 // dynamic wormhole behaviour.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -43,12 +44,12 @@ func TestPipelineEndToEnd(t *testing.T) {
 	for seed := int64(1); seed <= 8; seed++ {
 		g := randomWorkload(seed)
 		switches := 3 + int(seed)%6
-		design, err := nocdr.Synthesize(g, nocdr.SynthOptions{SwitchCount: switches})
+		design, err := nocdr.NewSession().Synthesize(context.Background(), g, nocdr.SynthOptions{SwitchCount: switches})
 		if err != nil {
 			t.Fatalf("seed %d: synth: %v", seed, err)
 		}
 
-		res, err := nocdr.RemoveDeadlocks(design.Topology, design.Routes, nocdr.RemovalOptions{})
+		res, err := nocdr.NewSession().RemoveDeadlocks(context.Background(), design.Topology, design.Routes)
 		if err != nil {
 			t.Fatalf("seed %d: remove: %v", seed, err)
 		}
@@ -61,7 +62,7 @@ func TestPipelineEndToEnd(t *testing.T) {
 
 		// Static/dynamic cross-validation: the repaired design must never
 		// deadlock at saturation with tight buffers.
-		st, err := nocdr.Simulate(res.Topology, g, res.Routes, nocdr.SimConfig{
+		st, err := nocdr.NewSession().Simulate(context.Background(), res.Topology, g, res.Routes, nocdr.SimConfig{
 			MaxCycles:   15000,
 			LoadFactor:  1.0,
 			BufferDepth: 2,
@@ -77,7 +78,7 @@ func TestPipelineEndToEnd(t *testing.T) {
 
 		// Pricing sanity: removal never costs more than resource ordering
 		// under either hardware realization.
-		ro, err := nocdr.ApplyResourceOrdering(design.Topology, design.Routes, nocdr.HopIndex)
+		ro, err := nocdr.NewSession().ApplyResourceOrdering(design.Topology, design.Routes, nocdr.HopIndex)
 		if err != nil {
 			t.Fatalf("seed %d: ordering: %v", seed, err)
 		}
@@ -102,24 +103,24 @@ func TestAcyclicNeverDeadlocks(t *testing.T) {
 	}
 	for seed := int64(20); seed < 28; seed++ {
 		g := randomWorkload(seed)
-		design, err := nocdr.Synthesize(g, nocdr.SynthOptions{SwitchCount: 4 + int(seed)%5})
+		design, err := nocdr.NewSession().Synthesize(context.Background(), g, nocdr.SynthOptions{SwitchCount: 4 + int(seed)%5})
 		if err != nil {
 			t.Fatal(err)
 		}
-		free, err := nocdr.DeadlockFree(design.Topology, design.Routes)
+		free, err := nocdr.NewSession().DeadlockFree(design.Topology, design.Routes)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !free {
 			// Make it acyclic first; then the invariant must hold.
-			res, err := nocdr.RemoveDeadlocks(design.Topology, design.Routes, nocdr.RemovalOptions{})
+			res, err := nocdr.NewSession().RemoveDeadlocks(context.Background(), design.Topology, design.Routes)
 			if err != nil {
 				t.Fatal(err)
 			}
 			design.Topology, design.Routes = res.Topology, res.Routes
 		}
 		for _, depth := range []int{1, 2, 8} {
-			st, err := nocdr.Simulate(design.Topology, g, design.Routes, nocdr.SimConfig{
+			st, err := nocdr.NewSession().Simulate(context.Background(), design.Topology, g, design.Routes, nocdr.SimConfig{
 				MaxCycles:   8000,
 				LoadFactor:  1.0,
 				BufferDepth: depth,
@@ -143,15 +144,15 @@ func TestRemovalMatchesOrderingSafety(t *testing.T) {
 		t.Skip("integration sweep skipped in -short mode")
 	}
 	g := randomWorkload(99)
-	design, err := nocdr.Synthesize(g, nocdr.SynthOptions{SwitchCount: 6})
+	design, err := nocdr.NewSession().Synthesize(context.Background(), g, nocdr.SynthOptions{SwitchCount: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rm, err := nocdr.RemoveDeadlocks(design.Topology, design.Routes, nocdr.RemovalOptions{})
+	rm, err := nocdr.NewSession().RemoveDeadlocks(context.Background(), design.Topology, design.Routes)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ro, err := nocdr.ApplyResourceOrdering(design.Topology, design.Routes, nocdr.HopIndex)
+	ro, err := nocdr.NewSession().ApplyResourceOrdering(design.Topology, design.Routes, nocdr.HopIndex)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestRemovalMatchesOrderingSafety(t *testing.T) {
 		"removal":  {rm.Topology, rm.Routes},
 		"ordering": {ro.Topology, ro.Routes},
 	} {
-		st, err := nocdr.Simulate(pair.top, g, pair.tab, cfg)
+		st, err := nocdr.NewSession().Simulate(context.Background(), pair.top, g, pair.tab, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 type EvalOptions struct {
 	Selection   core.CycleSelection
 	Policy      core.DirectionPolicy
+	VCLimit     int
 	FullRebuild bool
 	// Simulate runs the flit-level verification stage (see SimEval) on
 	// the evaluated design, filling Point.Sim.
@@ -47,12 +49,18 @@ type Point struct {
 // baseline, and reports both VC overheads — plus, with opts.Simulate, the
 // flit-level verification of the pre- and post-removal designs.
 func Evaluate(g *traffic.Graph, switchCount int, opts EvalOptions) (Point, error) {
+	return EvaluateContext(context.Background(), g, switchCount, opts)
+}
+
+// EvaluateContext is Evaluate with cooperative cancellation threaded
+// through synthesis, removal and the simulation stage.
+func EvaluateContext(ctx context.Context, g *traffic.Graph, switchCount int, opts EvalOptions) (Point, error) {
 	var p Point
-	des, err := synth.Synthesize(g, synth.Options{SwitchCount: switchCount})
+	des, err := synth.SynthesizeContext(ctx, g, synth.Options{SwitchCount: switchCount})
 	if err != nil {
 		return p, fmt.Errorf("runner: synthesize %s @ %d: %w", g.Name, switchCount, err)
 	}
-	return finishEval(g, des.Topology, des.Routes, opts, fmt.Sprintf("%s @ %d", g.Name, switchCount))
+	return finishEval(ctx, g, des.Topology, des.Routes, opts, fmt.Sprintf("%s @ %d", g.Name, switchCount))
 }
 
 // EvaluateRegular evaluates a regular-topology preset: a mesh or torus
@@ -61,22 +69,29 @@ func Evaluate(g *traffic.Graph, switchCount int, opts EvalOptions) (Point, error
 // and the ordering baseline run on the DOR routes directly — there is no
 // synthesis step, so the preset carries its own switch count.
 func EvaluateRegular(grid *regular.Grid, g *traffic.Graph, opts EvalOptions) (Point, error) {
+	return EvaluateRegularContext(context.Background(), grid, g, opts)
+}
+
+// EvaluateRegularContext is EvaluateRegular with cooperative
+// cancellation.
+func EvaluateRegularContext(ctx context.Context, grid *regular.Grid, g *traffic.Graph, opts EvalOptions) (Point, error) {
 	var p Point
 	tab, err := regular.DORRoutes(grid, g)
 	if err != nil {
 		return p, fmt.Errorf("runner: DOR routes for %s: %w", grid.Topology.Name, err)
 	}
-	return finishEval(g, grid.Topology, tab, opts, grid.Topology.Name)
+	return finishEval(ctx, g, grid.Topology, tab, opts, grid.Topology.Name)
 }
 
 // finishEval runs removal, the ordering baseline, and the optional
 // simulation stage on a fully routed design.
-func finishEval(g *traffic.Graph, top *topology.Topology, tab *route.Table, opts EvalOptions, label string) (Point, error) {
+func finishEval(ctx context.Context, g *traffic.Graph, top *topology.Topology, tab *route.Table, opts EvalOptions, label string) (Point, error) {
 	var p Point
 	start := time.Now()
-	rm, err := core.Remove(top, tab, core.Options{
+	rm, err := core.RemoveContext(ctx, top, tab, core.Options{
 		Selection:   opts.Selection,
 		Policy:      opts.Policy,
+		VCLimit:     opts.VCLimit,
 		FullRebuild: opts.FullRebuild,
 	})
 	if err != nil {
@@ -94,7 +109,7 @@ func finishEval(g *traffic.Graph, top *topology.Topology, tab *route.Table, opts
 	p.OrderingVCs = ro.AddedVCs
 	p.Breaks = rm.Iterations
 	if opts.Simulate {
-		sim, err := SimEval(g, top, tab, rm.InitialAcyclic, rm.Topology, rm.Routes, opts.Sim)
+		sim, err := SimEvalContext(ctx, g, top, tab, rm.InitialAcyclic, rm.Topology, rm.Routes, opts.Sim)
 		if err != nil {
 			return p, err
 		}

@@ -9,7 +9,9 @@
 package runner
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"regexp"
@@ -18,6 +20,7 @@ import (
 	"time"
 
 	"github.com/nocdr/nocdr/internal/core"
+	"github.com/nocdr/nocdr/internal/nocerr"
 	"github.com/nocdr/nocdr/internal/regular"
 	"github.com/nocdr/nocdr/internal/traffic"
 )
@@ -145,6 +148,10 @@ type Result struct {
 	// Skipped means the switch count exceeds the benchmark's core count
 	// (the sweep convention of Figures 8 and 9).
 	Skipped bool `json:"skipped,omitempty"`
+	// Canceled means the sweep's context was done before this job could
+	// complete: either it was never scheduled, or its removal/simulation
+	// returned through a cooperative cancellation check.
+	Canceled bool `json:"canceled,omitempty"`
 	// Error carries a per-job failure without aborting the sweep.
 	Error string `json:"error,omitempty"`
 
@@ -164,10 +171,15 @@ type Result struct {
 }
 
 // Report is a completed sweep: the normalized grid plus one result per
-// job, in Grid.Jobs order regardless of scheduling.
+// job, in Grid.Jobs order regardless of scheduling. A canceled sweep
+// still yields a structurally complete report — every job slot is
+// present, with unfinished ones marked canceled.
 type Report struct {
-	Grid    Grid     `json:"grid"`
-	Results []Result `json:"results"`
+	Grid Grid `json:"grid"`
+	// Canceled marks a partial report: the run's context was done before
+	// every job completed.
+	Canceled bool     `json:"canceled,omitempty"`
+	Results  []Result `json:"results"`
 }
 
 // WriteJSON writes the report as indented JSON. The output is a pure
@@ -183,6 +195,14 @@ func (r *Report) WriteJSON(w io.Writer) error {
 type Options struct {
 	// Parallel is the worker count; values below 2 run serially.
 	Parallel int
+	// Policy is the break-direction rule applied to every cell's
+	// removal (zero value is the paper's BestOfBoth). The grid's
+	// Policies axis selects the *cycle-selection* rule per cell; this
+	// field is the orthogonal direction rule.
+	Policy core.DirectionPolicy
+	// VCLimit caps the VCs each cell's removal may add (0 = unlimited);
+	// cells that would exceed it fail with their error recorded.
+	VCLimit int
 	// FullRebuild routes every Remove through the rebuild-per-iteration
 	// path (for baseline comparisons).
 	FullRebuild bool
@@ -195,18 +215,34 @@ type Options struct {
 	Sim SimParams
 	// Progress, when non-nil, receives one line per completed job.
 	Progress io.Writer
+	// OnResult, when non-nil, receives every completed job's slot index,
+	// the total job count, and the result — the sweep's event feed.
+	// Calls are serialized under the same mutex as Progress, but may be
+	// issued from any worker goroutine.
+	OnResult func(index, total int, res Result)
 }
 
 // Run executes every job of the grid and returns the aggregated report.
 // Job failures are recorded per-result; Run itself only fails on an
 // invalid grid.
 func Run(grid Grid, opts Options) (*Report, error) {
+	return RunContext(context.Background(), grid, opts)
+}
+
+// RunContext is Run with cooperative cancellation. When ctx is done, no
+// further jobs are scheduled, in-flight jobs return through the removal
+// and simulation cancellation checks, and the report comes back valid
+// but partial: Report.Canceled is set and every unfinished job slot is
+// marked canceled. RunContext itself still returns a nil error in that
+// case — the caller decides whether a partial sweep is a failure.
+func RunContext(ctx context.Context, grid Grid, opts Options) (*Report, error) {
 	if err := grid.Validate(); err != nil {
 		return nil, err
 	}
 	grid = grid.normalized()
 	jobs := grid.Jobs()
 	results := make([]Result, len(jobs))
+	scheduled := make([]bool, len(jobs))
 
 	workers := opts.Parallel
 	if workers < 1 {
@@ -227,29 +263,52 @@ func Run(grid Grid, opts Options) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runJob(jobs[i], opts)
-				if opts.Progress != nil {
-					// Counter increment and print share the mutex so the
-					// n/total labels stay monotonic on the stream.
+				results[i] = runJob(ctx, jobs[i], opts)
+				if opts.Progress != nil || opts.OnResult != nil {
+					// Counter increment and callbacks share the mutex so
+					// the n/total labels stay monotonic on the stream and
+					// OnResult observers never run concurrently.
 					progress.Lock()
 					done++
-					fmt.Fprintf(opts.Progress, "sweep %d/%d: %s\n", done, len(jobs), results[i].oneLine())
+					if opts.Progress != nil {
+						fmt.Fprintf(opts.Progress, "sweep %d/%d: %s\n", done, len(jobs), results[i].oneLine())
+					}
+					if opts.OnResult != nil {
+						opts.OnResult(i, len(jobs), results[i])
+					}
 					progress.Unlock()
 				}
 			}
 		}()
 	}
+feed:
 	for i := range jobs {
-		idx <- i
+		select {
+		case idx <- i:
+			scheduled[i] = true
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
-	return &Report{Grid: grid, Results: results}, nil
+	rep := &Report{Grid: grid, Results: results}
+	if ctx.Err() != nil {
+		rep.Canceled = true
+		for i := range results {
+			if !scheduled[i] {
+				results[i] = Result{Job: jobs[i], Canceled: true}
+			}
+		}
+	}
+	return rep, nil
 }
 
 // runJob evaluates one grid point. All failure modes are folded into the
-// result so one bad point cannot sink a long sweep.
-func runJob(job Job, opts Options) Result {
+// result so one bad point cannot sink a long sweep; a cancellation
+// surfacing from the evaluation marks the result canceled rather than
+// errored.
+func runJob(ctx context.Context, job Job, opts Options) Result {
 	res := Result{Job: job}
 	policy, err := ParsePolicy(job.Policy)
 	if err != nil {
@@ -258,6 +317,8 @@ func runJob(job Job, opts Options) Result {
 	}
 	evalOpts := EvalOptions{
 		Selection:   policy,
+		Policy:      opts.Policy,
+		VCLimit:     opts.VCLimit,
 		FullRebuild: opts.FullRebuild,
 		Simulate:    opts.Simulate,
 		Sim:         opts.Sim,
@@ -274,10 +335,9 @@ func runJob(job Job, opts Options) Result {
 			return res
 		}
 		res.Cores = g.NumCores()
-		p, err = EvaluateRegular(grid, g, evalOpts)
+		p, err = EvaluateRegularContext(ctx, grid, g, evalOpts)
 		if err != nil {
-			res.Error = err.Error()
-			return res
+			return res.fail(err)
 		}
 	} else {
 		g, err := resolveBenchmark(job.Benchmark, job.Seed)
@@ -290,10 +350,9 @@ func runJob(job Job, opts Options) Result {
 			res.Skipped = true
 			return res
 		}
-		p, err = Evaluate(g, job.SwitchCount, evalOpts)
+		p, err = EvaluateContext(ctx, g, job.SwitchCount, evalOpts)
 		if err != nil {
-			res.Error = err.Error()
-			return res
+			return res.fail(err)
 		}
 	}
 	res.Links = p.Links
@@ -307,11 +366,25 @@ func runJob(job Job, opts Options) Result {
 	return res
 }
 
+// fail folds an evaluation error into the result: cancellations mark the
+// slot canceled (so partial reports stay deterministic — no context error
+// strings leak into the JSON), everything else is a per-job error.
+func (r Result) fail(err error) Result {
+	if errors.Is(err, nocerr.ErrCanceled) {
+		r.Canceled = true
+		return r
+	}
+	r.Error = err.Error()
+	return r
+}
+
 func (r Result) oneLine() string {
 	id := fmt.Sprintf("%s@%d/%s/seed%d", r.Benchmark, r.SwitchCount, r.Policy, r.Seed)
 	switch {
 	case r.Error != "":
 		return id + " ERROR " + r.Error
+	case r.Canceled:
+		return id + " canceled"
 	case r.Skipped:
 		return id + " skipped (switches > cores)"
 	default:

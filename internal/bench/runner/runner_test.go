@@ -2,8 +2,10 @@ package runner
 
 import (
 	"bytes"
+	"context"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"github.com/nocdr/nocdr/internal/traffic"
@@ -333,5 +335,62 @@ func TestSkippedAndProgress(t *testing.T) {
 	}
 	if got := strings.Count(progress.String(), "\n"); got != 2 {
 		t.Errorf("progress stream has %d lines, want 2:\n%s", got, progress.String())
+	}
+}
+
+// TestRunContextMidSweepCancel cancels the sweep from its own event feed
+// after the first completed cell: the run must drain promptly and return
+// a valid partial report — canceled flag set, completed cells intact,
+// unscheduled cells marked canceled with their job identity preserved.
+func TestRunContextMidSweepCancel(t *testing.T) {
+	grid := Grid{Benchmarks: []string{"D26_media"}, SwitchCounts: []int{5, 6, 7, 8, 9, 10, 11, 12}}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var fired atomic.Bool
+	rep, err := RunContext(ctx, grid, Options{
+		Parallel: 1,
+		OnResult: func(i, total int, res Result) {
+			if fired.CompareAndSwap(false, true) {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Canceled {
+		t.Fatal("report not marked canceled")
+	}
+	var done, canceled int
+	for i, r := range rep.Results {
+		if r.Benchmark != "D26_media" {
+			t.Fatalf("slot %d lost its job identity: %q", i, r.Benchmark)
+		}
+		if r.Canceled {
+			canceled++
+		} else {
+			done++
+		}
+	}
+	if done == 0 || canceled == 0 {
+		t.Fatalf("expected a mix of completed and canceled cells, got done=%d canceled=%d", done, canceled)
+	}
+}
+
+// TestRunContextCompleteRunNotCanceled pins that an uninterrupted run
+// never carries cancellation markers (so serial/parallel byte-identical
+// JSON is unaffected by the context plumbing).
+func TestRunContextCompleteRunNotCanceled(t *testing.T) {
+	rep, err := RunContext(context.Background(), Grid{Benchmarks: []string{"D26_media"}, SwitchCounts: []int{8}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Canceled {
+		t.Fatal("complete run marked canceled")
+	}
+	for _, r := range rep.Results {
+		if r.Canceled {
+			t.Fatal("complete run has canceled cells")
+		}
 	}
 }

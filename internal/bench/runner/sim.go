@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/nocdr/nocdr/internal/cdg"
@@ -137,6 +138,15 @@ func SimEval(g *traffic.Graph,
 	preTop *topology.Topology, preTab *route.Table, initialAcyclic bool,
 	postTop *topology.Topology, postTab *route.Table,
 	params SimParams) (*SimResult, error) {
+	return SimEvalContext(context.Background(), g, preTop, preTab, initialAcyclic, postTop, postTab, params)
+}
+
+// SimEvalContext is SimEval with cooperative cancellation threaded into
+// every simulation run's flit-stepping loop.
+func SimEvalContext(ctx context.Context, g *traffic.Graph,
+	preTop *topology.Topology, preTab *route.Table, initialAcyclic bool,
+	postTop *topology.Topology, postTab *route.Table,
+	params SimParams) (*SimResult, error) {
 
 	params = params.withDefaults()
 	res := &SimResult{}
@@ -164,7 +174,7 @@ func SimEval(g *traffic.Graph,
 			if err != nil {
 				return nil, fmt.Errorf("runner: pre-removal sim: %w", err)
 			}
-			st, err := pre.Run()
+			st, err := pre.RunContext(ctx)
 			if err != nil {
 				return nil, fmt.Errorf("runner: pre-removal sim: %w", err)
 			}
@@ -178,7 +188,7 @@ func SimEval(g *traffic.Graph,
 			if err != nil {
 				return nil, fmt.Errorf("runner: post-removal witness sim: %w", err)
 			}
-			wst, err := postW.Run()
+			wst, err := postW.RunContext(ctx)
 			if err != nil {
 				return nil, fmt.Errorf("runner: post-removal witness sim: %w", err)
 			}
@@ -194,7 +204,7 @@ func SimEval(g *traffic.Graph,
 	if err != nil {
 		return nil, fmt.Errorf("runner: post-removal sim: %w", err)
 	}
-	st, err := post.Run()
+	st, err := post.RunContext(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("runner: post-removal sim: %w", err)
 	}

@@ -28,13 +28,16 @@ func WriteTable(w io.Writer, rep *Report) error {
 	}
 	fmt.Fprintln(tw, header)
 	var total time.Duration
-	errors := 0
+	errors, canceled := 0, 0
 	for _, r := range rep.Results {
 		status := "ok"
 		switch {
 		case r.Error != "":
 			status = "ERROR: " + r.Error
 			errors++
+		case r.Canceled:
+			status = "canceled"
+			canceled++
 		case r.Skipped:
 			status = "skipped"
 		case r.InitialAcyclic:
@@ -57,7 +60,11 @@ func WriteTable(w io.Writer, rep *Report) error {
 	if err := tw.Flush(); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "\n%d jobs, %d errors, total removal time %v\n",
-		len(rep.Results), errors, total.Round(time.Millisecond))
+	note := ""
+	if canceled > 0 {
+		note = fmt.Sprintf(" (%d canceled — partial sweep)", canceled)
+	}
+	_, err := fmt.Fprintf(w, "\n%d jobs, %d errors, total removal time %v%s\n",
+		len(rep.Results), errors, total.Round(time.Millisecond), note)
 	return err
 }

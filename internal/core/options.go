@@ -70,6 +70,14 @@ type Options struct {
 	// MaxIterations caps the number of cycle breaks; 0 means
 	// DefaultMaxIterations.
 	MaxIterations int
+	// VCLimit caps the total virtual channels the removal may add; 0
+	// means unlimited. When a break would push AddedVCs past the limit,
+	// Remove fails with an error wrapping nocerr.ErrVCLimit.
+	VCLimit int
+	// OnBreak, when non-nil, is invoked after every executed cycle break
+	// with the record just appended to Result.Breaks. It runs on the
+	// calling goroutine; a slow callback slows the removal loop.
+	OnBreak func(BreakRecord)
 	// Policy selects the break-direction rule; zero value is BestOfBoth.
 	Policy DirectionPolicy
 	// Selection selects the next cycle to break; zero value is

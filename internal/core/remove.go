@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/nocdr/nocdr/internal/cdg"
+	"github.com/nocdr/nocdr/internal/nocerr"
 	"github.com/nocdr/nocdr/internal/route"
 	"github.com/nocdr/nocdr/internal/topology"
 )
@@ -43,20 +45,41 @@ type Result struct {
 // exceeded (never observed on the paper's benchmark family; the bound
 // exists to fail loudly instead of looping).
 func Remove(top *topology.Topology, tab *route.Table, opts Options) (*Result, error) {
+	return RemoveContext(context.Background(), top, tab, opts)
+}
+
+// RemoveContext is Remove with cooperative cancellation: the break loop
+// checks ctx between iterations and returns an error wrapping both
+// nocerr.ErrCanceled and ctx.Err() as soon as the context is done. A
+// canceled removal returns no partial result.
+func RemoveContext(ctx context.Context, top *topology.Topology, tab *route.Table, opts Options) (*Result, error) {
 	res := &Result{
 		Topology: top.Clone(),
 		Routes:   tab.Clone(),
 	}
 	if opts.FullRebuild {
-		return removeFullRebuild(res, opts)
+		return removeFullRebuild(ctx, res, opts)
 	}
-	return removeIncremental(res, opts)
+	return removeIncremental(ctx, res, opts)
+}
+
+// canceled folds a done context into the library's sentinel scheme: the
+// returned error satisfies errors.Is for both nocerr.ErrCanceled and the
+// context's own error (context.Canceled / DeadlineExceeded).
+func canceled(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", nocerr.ErrCanceled, err)
+	}
+	return nil
 }
 
 // removeFullRebuild is the original Algorithm 1 loop: full cdg.Build plus
 // global cycle search on every iteration.
-func removeFullRebuild(res *Result, opts Options) (*Result, error) {
+func removeFullRebuild(ctx context.Context, res *Result, opts Options) (*Result, error) {
 	for {
+		if err := canceled(ctx); err != nil {
+			return nil, err
+		}
 		g, err := cdg.Build(res.Topology, res.Routes)
 		if err != nil {
 			return nil, err
@@ -74,12 +97,15 @@ func removeFullRebuild(res *Result, opts Options) (*Result, error) {
 
 // removeIncremental is the hot path: one CDG built up front, then each
 // break applied as localized edge updates with SCC-restricted re-search.
-func removeIncremental(res *Result, opts Options) (*Result, error) {
+func removeIncremental(ctx context.Context, res *Result, opts Options) (*Result, error) {
 	m, err := cdg.BuildIncremental(res.Topology, res.Routes)
 	if err != nil {
 		return nil, err
 	}
 	for {
+		if err := canceled(ctx); err != nil {
+			return nil, err
+		}
 		cycle := selectCycleIncremental(m, opts.Selection)
 		if cycle == nil {
 			res.InitialAcyclic = res.Iterations == 0
@@ -99,7 +125,7 @@ func (res *Result) applyBreak(cycle []topology.Channel, opts Options, m *cdg.Inc
 		return fmt.Errorf("core: degenerate self-dependency on channel %v (route repeats a channel?)", cycle)
 	}
 	if res.Iterations >= opts.maxIterations() {
-		return fmt.Errorf("core: cycle remains after %d breaks (MaxIterations reached)", res.Iterations)
+		return fmt.Errorf("%w: cycle remains after %d breaks (MaxIterations reached)", nocerr.ErrCyclicCDG, res.Iterations)
 	}
 	dir, ct, err := chooseBreak(cycle, res.Routes, opts.Policy)
 	if err != nil {
@@ -108,6 +134,12 @@ func (res *Result) applyBreak(cycle []topology.Channel, opts Options, m *cdg.Inc
 	rec, reroutes, err := breakCycle(res.Topology, res.Routes, cycle, ct.BestEdge, dir, ct.BestCost)
 	if err != nil {
 		return err
+	}
+	if opts.VCLimit > 0 && res.AddedVCs+len(rec.NewChannels) > opts.VCLimit {
+		// The caller discards the whole result on error, so the break that
+		// busted the budget needs no rollback.
+		return fmt.Errorf("%w: break %d needs %d more VC(s) on top of %d, limit %d",
+			nocerr.ErrVCLimit, res.Iterations+1, len(rec.NewChannels), res.AddedVCs, opts.VCLimit)
 	}
 	if m != nil {
 		for _, rr := range reroutes {
@@ -119,6 +151,9 @@ func (res *Result) applyBreak(cycle []topology.Channel, opts Options, m *cdg.Inc
 	res.Breaks = append(res.Breaks, *rec)
 	res.AddedVCs += len(rec.NewChannels)
 	res.Iterations++
+	if opts.OnBreak != nil {
+		opts.OnBreak(*rec)
+	}
 	return nil
 }
 
@@ -200,7 +235,7 @@ func (r *Result) Verify() error {
 		return err
 	}
 	if !g.Acyclic() {
-		return fmt.Errorf("core: result CDG still cyclic")
+		return fmt.Errorf("%w: result CDG still cyclic", nocerr.ErrCyclicCDG)
 	}
 	for _, rt := range r.Routes.Routes() {
 		for i, ch := range rt.Channels {

@@ -1,0 +1,34 @@
+// Package nocerr holds the typed sentinel errors shared by every layer of
+// the library. Internal packages wrap these with %w so callers can use
+// errors.Is/As across the whole pipeline; the root package re-exports them
+// as nocdr.ErrCyclicCDG etc. Sentinel messages carry no "nocdr: " prefix
+// themselves — the public API boundary (wrapErr in the root package) adds
+// it exactly once, wherever the sentinel sits in the chain.
+package nocerr
+
+import "errors"
+
+var (
+	// ErrCyclicCDG reports that the channel dependency graph is (still)
+	// cyclic: removal hit its iteration bound, or an operation that
+	// requires an acyclic CDG was handed a cyclic design.
+	ErrCyclicCDG = errors.New("CDG is cyclic")
+
+	// ErrVCLimit reports that deadlock removal would exceed the caller's
+	// virtual-channel budget (Session WithVCLimit / core.Options.VCLimit).
+	ErrVCLimit = errors.New("VC limit exceeded")
+
+	// ErrCanceled reports cooperative cancellation of a long-running
+	// operation. Errors wrapping it also wrap the context's own error, so
+	// errors.Is(err, context.Canceled) keeps working.
+	ErrCanceled = errors.New("canceled")
+
+	// ErrInvalidInput reports malformed or inconsistent inputs: bad JSON
+	// schemas, routes referencing unknown channels, detached cores, and
+	// the like.
+	ErrInvalidInput = errors.New("invalid input")
+
+	// ErrNotFound reports a lookup miss: unknown benchmark names, unknown
+	// serve job IDs.
+	ErrNotFound = errors.New("not found")
+)

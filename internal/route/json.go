@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/nocdr/nocdr/internal/nocerr"
 	"github.com/nocdr/nocdr/internal/topology"
 )
 
@@ -40,20 +41,20 @@ func (t *Table) MarshalJSON() ([]byte, error) {
 func (t *Table) UnmarshalJSON(data []byte) error {
 	var jt jsonTable
 	if err := json.Unmarshal(data, &jt); err != nil {
-		return fmt.Errorf("route: %w", err)
+		return fmt.Errorf("route: %w: %w", nocerr.ErrInvalidInput, err)
 	}
 	nt := NewTable(0)
 	for _, jr := range jt.Routes {
 		if jr.Flow < 0 {
-			return fmt.Errorf("route: negative flow ID %d", jr.Flow)
+			return fmt.Errorf("route: negative flow ID %d: %w", jr.Flow, nocerr.ErrInvalidInput)
 		}
 		if nt.Route(jr.Flow) != nil {
-			return fmt.Errorf("route: duplicate route for flow %d", jr.Flow)
+			return fmt.Errorf("route: duplicate route for flow %d: %w", jr.Flow, nocerr.ErrInvalidInput)
 		}
 		channels := make([]topology.Channel, 0, len(jr.Channels))
 		for _, jc := range jr.Channels {
 			if jc.Link < 0 || jc.VC < 0 {
-				return fmt.Errorf("route: flow %d has negative link/vc", jr.Flow)
+				return fmt.Errorf("route: flow %d has negative link/vc: %w", jr.Flow, nocerr.ErrInvalidInput)
 			}
 			channels = append(channels, topology.Chan(topology.LinkID(jc.Link), jc.VC))
 		}

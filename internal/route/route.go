@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/nocdr/nocdr/internal/nocerr"
 	"github.com/nocdr/nocdr/internal/topology"
 	"github.com/nocdr/nocdr/internal/traffic"
 )
@@ -157,19 +158,19 @@ func (t *Table) Validate(top *topology.Topology, g *traffic.Graph) error {
 	for _, f := range g.Flows() {
 		r := t.Route(f.ID)
 		if r == nil {
-			return fmt.Errorf("route: flow %d has no route", f.ID)
+			return fmt.Errorf("route: flow %d has no route: %w", f.ID, nocerr.ErrInvalidInput)
 		}
 		srcSw, ok := top.SwitchOf(int(f.Src))
 		if !ok {
-			return fmt.Errorf("route: core %d not attached to any switch", f.Src)
+			return fmt.Errorf("route: core %d not attached to any switch: %w", f.Src, nocerr.ErrInvalidInput)
 		}
 		dstSw, ok := top.SwitchOf(int(f.Dst))
 		if !ok {
-			return fmt.Errorf("route: core %d not attached to any switch", f.Dst)
+			return fmt.Errorf("route: core %d not attached to any switch: %w", f.Dst, nocerr.ErrInvalidInput)
 		}
 		if len(r.Channels) == 0 {
 			if srcSw != dstSw {
-				return fmt.Errorf("route: flow %d has empty route but cores on different switches", f.ID)
+				return fmt.Errorf("route: flow %d has empty route but cores on different switches: %w", f.ID, nocerr.ErrInvalidInput)
 			}
 			continue
 		}
@@ -177,20 +178,20 @@ func (t *Table) Validate(top *topology.Topology, g *traffic.Graph) error {
 		seen := make(map[topology.LinkID]bool, len(r.Channels))
 		for i, c := range r.Channels {
 			if !top.ValidChannel(c) {
-				return fmt.Errorf("route: flow %d hop %d uses invalid channel %v", f.ID, i, c)
+				return fmt.Errorf("route: flow %d hop %d uses invalid channel %v: %w", f.ID, i, c, nocerr.ErrInvalidInput)
 			}
 			l := top.Link(c.Link)
 			if l.From != cur {
-				return fmt.Errorf("route: flow %d hop %d starts at switch %d, expected %d", f.ID, i, l.From, cur)
+				return fmt.Errorf("route: flow %d hop %d starts at switch %d, expected %d: %w", f.ID, i, l.From, cur, nocerr.ErrInvalidInput)
 			}
 			if seen[c.Link] {
-				return fmt.Errorf("route: flow %d revisits physical link %d", f.ID, c.Link)
+				return fmt.Errorf("route: flow %d revisits physical link %d: %w", f.ID, c.Link, nocerr.ErrInvalidInput)
 			}
 			seen[c.Link] = true
 			cur = l.To
 		}
 		if cur != dstSw {
-			return fmt.Errorf("route: flow %d ends at switch %d, want %d", f.ID, cur, dstSw)
+			return fmt.Errorf("route: flow %d ends at switch %d, want %d: %w", f.ID, cur, dstSw, nocerr.ErrInvalidInput)
 		}
 	}
 	return nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/nocdr/nocdr/internal/graph"
+	"github.com/nocdr/nocdr/internal/nocerr"
 	"github.com/nocdr/nocdr/internal/topology"
 	"github.com/nocdr/nocdr/internal/traffic"
 )
@@ -49,11 +50,11 @@ func ShortestPathsWeighted(top *topology.Topology, g *traffic.Graph, base map[to
 		f := g.Flow(fid)
 		srcSw, ok := top.SwitchOf(int(f.Src))
 		if !ok {
-			return nil, fmt.Errorf("route: core %d (flow %d) not attached", f.Src, fid)
+			return nil, fmt.Errorf("route: core %d (flow %d) not attached: %w", f.Src, fid, nocerr.ErrInvalidInput)
 		}
 		dstSw, ok := top.SwitchOf(int(f.Dst))
 		if !ok {
-			return nil, fmt.Errorf("route: core %d (flow %d) not attached", f.Dst, fid)
+			return nil, fmt.Errorf("route: core %d (flow %d) not attached: %w", f.Dst, fid, nocerr.ErrInvalidInput)
 		}
 		if srcSw == dstSw {
 			table.Set(fid, nil)
@@ -68,13 +69,13 @@ func ShortestPathsWeighted(top *topology.Topology, g *traffic.Graph, base map[to
 		}
 		path := sg.DijkstraPath(int(srcSw), int(dstSw), w)
 		if path == nil {
-			return nil, fmt.Errorf("route: no path for flow %d from switch %d to %d", fid, srcSw, dstSw)
+			return nil, fmt.Errorf("route: no path for flow %d from switch %d to %d: %w", fid, srcSw, dstSw, nocerr.ErrInvalidInput)
 		}
 		channels := make([]topology.Channel, 0, len(path)-1)
 		for i := 0; i+1 < len(path); i++ {
 			id, ok := top.FindLink(topology.SwitchID(path[i]), topology.SwitchID(path[i+1]))
 			if !ok {
-				return nil, fmt.Errorf("route: path uses missing link %d→%d", path[i], path[i+1])
+				return nil, fmt.Errorf("route: path uses missing link %d→%d: %w", path[i], path[i+1], nocerr.ErrInvalidInput)
 			}
 			channels = append(channels, topology.Chan(id, 0))
 			load[id] += f.Bandwidth

@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	nocdr "github.com/nocdr/nocdr"
+	"github.com/nocdr/nocdr/internal/nocerr"
+)
+
+// maxBodyBytes bounds request bodies; topologies and route tables for
+// even the largest sweeps are well under this.
+const maxBodyBytes = 32 << 20
+
+// Handler mounts the v1 API on a fresh mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /v1/remove", s.handleRemove)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
+	return mux
+}
+
+// removeRequest is the POST /v1/remove body: the design to repair plus
+// the removal policy.
+type removeRequest struct {
+	Topology *nocdr.Topology   `json:"topology"`
+	Routes   *nocdr.RouteTable `json:"routes"`
+	Options  struct {
+		VCLimit       int    `json:"vc_limit"`
+		MaxIterations int    `json:"max_iterations"`
+		Policy        string `json:"policy"`    // "", "best", "forward", "backward"
+		Selection     string `json:"selection"` // "", "smallest", "first"
+		FullRebuild   bool   `json:"full_rebuild"`
+	} `json:"options"`
+}
+
+// removeResult is a finished remove job's result document.
+type removeResult struct {
+	DeadlockFree   bool              `json:"deadlock_free"`
+	InitialAcyclic bool              `json:"initial_acyclic"`
+	AddedVCs       int               `json:"added_vcs"`
+	Iterations     int               `json:"iterations"`
+	Topology       *nocdr.Topology   `json:"topology"`
+	Routes         *nocdr.RouteTable `json:"routes"`
+}
+
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	var req removeRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Topology == nil || req.Routes == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: topology and routes are required", nocerr.ErrInvalidInput))
+		return
+	}
+	opts := []nocdr.Option{
+		nocdr.WithVCLimit(req.Options.VCLimit),
+		nocdr.WithMaxIterations(req.Options.MaxIterations),
+		nocdr.WithFullRebuild(req.Options.FullRebuild),
+	}
+	switch req.Options.Policy {
+	case "", "best":
+		opts = append(opts, nocdr.WithPolicy(nocdr.BestOfBoth))
+	case "forward":
+		opts = append(opts, nocdr.WithPolicy(nocdr.ForwardOnly))
+	case "backward":
+		opts = append(opts, nocdr.WithPolicy(nocdr.BackwardOnly))
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: unknown policy %q", nocerr.ErrInvalidInput, req.Options.Policy))
+		return
+	}
+	switch req.Options.Selection {
+	case "", "smallest":
+		opts = append(opts, nocdr.WithSelection(nocdr.SmallestFirst))
+	case "first":
+		opts = append(opts, nocdr.WithSelection(nocdr.FirstFound))
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: unknown selection %q", nocerr.ErrInvalidInput, req.Options.Selection))
+		return
+	}
+	s.enqueue(w, "remove", func(ctx context.Context, j *Job) (any, error) {
+		sess := s.session(j, opts...)
+		res, err := sess.RemoveDeadlocks(ctx, req.Topology, req.Routes)
+		if err != nil {
+			return nil, err
+		}
+		free, err := sess.DeadlockFree(res.Topology, res.Routes)
+		if err != nil {
+			return nil, err
+		}
+		return removeResult{
+			DeadlockFree:   free,
+			InitialAcyclic: res.InitialAcyclic,
+			AddedVCs:       res.AddedVCs,
+			Iterations:     res.Iterations,
+			Topology:       res.Topology,
+			Routes:         res.Routes,
+		}, nil
+	})
+}
+
+// sweepRequest is the POST /v1/sweep body.
+type sweepRequest struct {
+	Grid     nocdr.SweepGrid `json:"grid"`
+	Simulate bool            `json:"simulate"`
+	Sim      nocdr.SimParams `json:"sim"`
+	// Parallel overrides the server's per-sweep runner worker count.
+	Parallel int `json:"parallel"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := req.Grid.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.enqueue(w, "sweep", func(ctx context.Context, j *Job) (any, error) {
+		var extra []nocdr.Option
+		if req.Parallel > 0 {
+			extra = append(extra, nocdr.WithParallel(req.Parallel))
+		}
+		sess := s.session(j, extra...)
+		// A canceled sweep still returns its partial report; runJob
+		// stores it alongside the canceled state.
+		return sess.Sweep(ctx, req.Grid, nocdr.SweepOptions{Simulate: req.Simulate, Sim: req.Sim})
+	})
+}
+
+// simulateRequest is the POST /v1/simulate body.
+type simulateRequest struct {
+	Topology *nocdr.Topology     `json:"topology"`
+	Traffic  *nocdr.TrafficGraph `json:"traffic"`
+	Routes   *nocdr.RouteTable   `json:"routes"`
+	Config   struct {
+		MaxCycles      int64   `json:"max_cycles"`
+		LoadFactor     float64 `json:"load_factor"`
+		PacketsPerFlow int     `json:"packets_per_flow"`
+		BufferDepth    int     `json:"buffer_depth"`
+		Seed           int64   `json:"seed"`
+		EpochCycles    int64   `json:"epoch_cycles"`
+	} `json:"config"`
+}
+
+// simulateResult is a finished simulate job's result document.
+type simulateResult struct {
+	Cycles           int64   `json:"cycles"`
+	InjectedPackets  int64   `json:"injected_packets"`
+	DeliveredPackets int64   `json:"delivered_packets"`
+	DeliveredFlits   int64   `json:"delivered_flits"`
+	AvgLatency       float64 `json:"avg_latency"`
+	MaxLatency       int64   `json:"max_latency"`
+	Throughput       float64 `json:"throughput_flits_per_cycle"`
+	Deadlocked       bool    `json:"deadlocked"`
+	DeadlockCycle    int64   `json:"deadlock_cycle,omitempty"`
+	Drained          bool    `json:"drained"`
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Topology == nil || req.Traffic == nil || req.Routes == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: topology, traffic and routes are required", nocerr.ErrInvalidInput))
+		return
+	}
+	cfg := nocdr.SimConfig{
+		MaxCycles:      req.Config.MaxCycles,
+		LoadFactor:     req.Config.LoadFactor,
+		PacketsPerFlow: req.Config.PacketsPerFlow,
+		BufferDepth:    req.Config.BufferDepth,
+		Seed:           req.Config.Seed,
+		EpochCycles:    req.Config.EpochCycles,
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 100000
+	}
+	s.enqueue(w, "simulate", func(ctx context.Context, j *Job) (any, error) {
+		st, err := s.session(j).Simulate(ctx, req.Topology, req.Traffic, req.Routes, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return simulateResult{
+			Cycles:           st.Cycles,
+			InjectedPackets:  st.InjectedPackets,
+			DeliveredPackets: st.DeliveredPackets,
+			DeliveredFlits:   st.DeliveredFlits,
+			AvgLatency:       st.AvgLatency(),
+			MaxLatency:       st.LatencyMax,
+			Throughput:       st.ThroughputFlitsPerCycle(),
+			Deadlocked:       st.Deadlocked,
+			DeadlockCycle:    st.DeadlockCycle,
+			Drained:          st.Drained,
+		}, nil
+	})
+}
+
+// enqueue submits the job and answers 202 with its ID and links.
+func (s *Server) enqueue(w http.ResponseWriter, kind string, run func(ctx context.Context, j *Job) (any, error)) {
+	j, err := s.submit(kind, run)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id": j.ID,
+		"links": map[string]string{
+			"self":   "/v1/jobs/" + j.ID,
+			"events": "/v1/jobs/" + j.ID + "/events",
+			"cancel": "/v1/jobs/" + j.ID + "/cancel",
+		},
+	})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.statuses()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, err := s.job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.cancelJob(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// handleJobEvents streams the job's event feed as Server-Sent Events:
+// the full buffer is replayed first, then live events as they are
+// emitted, then one terminal "state" event, and the stream closes.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, err := s.job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("serve: response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	next := 0
+	for {
+		j.mu.Lock()
+		events := j.events[next:]
+		state := j.state
+		wake := j.wake
+		j.mu.Unlock()
+
+		for _, ev := range events {
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Kind, ev.Data)
+		}
+		next += len(events)
+		if len(events) > 0 {
+			flusher.Flush()
+		}
+		if state.terminal() {
+			data, _ := json.Marshal(j.snapshot())
+			fmt.Fprintf(w, "event: state\ndata: %s\n\n", data)
+			flusher.Flush()
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// decode reads a bounded JSON body, answering 400 on failure.
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	if err := json.Unmarshal(body, dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: %v", nocerr.ErrInvalidInput, err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,468 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	nocdr "github.com/nocdr/nocdr"
+)
+
+// ringDesign builds the paper's Figure 1 four-switch ring with its four
+// cyclic flows — the canonical removable-deadlock workload — and returns
+// its JSON-marshaled pieces.
+func ringDesign(t *testing.T) (topoJSON, trafficJSON, routesJSON json.RawMessage) {
+	t.Helper()
+	top := nocdr.NewTopology("figure1")
+	for i := 0; i < 4; i++ {
+		sw := top.AddSwitch("")
+		if err := top.AttachCore(i, sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		top.MustAddLink(nocdr.SwitchID(i), nocdr.SwitchID((i+1)%4))
+	}
+	g := nocdr.NewTraffic("figure1-flows")
+	for i := 0; i < 4; i++ {
+		g.AddCore("")
+	}
+	g.MustAddFlow(0, 3, 100)
+	g.MustAddFlow(2, 0, 100)
+	g.MustAddFlow(3, 1, 100)
+	g.MustAddFlow(0, 2, 100)
+	routes := nocdr.NewRouteTable(4)
+	ch := func(ids ...int) []nocdr.Channel {
+		out := make([]nocdr.Channel, len(ids))
+		for i, id := range ids {
+			out[i] = nocdr.Chan(nocdr.LinkID(id), 0)
+		}
+		return out
+	}
+	routes.Set(0, ch(0, 1, 2))
+	routes.Set(1, ch(2, 3))
+	routes.Set(2, ch(3, 0))
+	routes.Set(3, ch(0, 1))
+
+	mustJSON := func(v json.Marshaler) json.RawMessage {
+		data, err := v.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	return mustJSON(top), mustJSON(g), mustJSON(routes)
+}
+
+// newTestServer starts a Server over httptest and tears both down with
+// the test.
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// postJSON posts a JSON body and decodes the JSON answer.
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// getJSON fetches a JSON document.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// waitTerminal polls a job until it leaves the running states.
+func waitTerminal(t *testing.T, base, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var st JobStatus
+		if code := getJSON(t, base+"/v1/jobs/"+id, &st); code != http.StatusOK {
+			t.Fatalf("GET job %s: status %d", id, code)
+		}
+		if st.State.terminal() {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return JobStatus{}
+}
+
+type submitResponse struct {
+	ID string `json:"id"`
+}
+
+// foreverDesign builds a 2-switch acyclic design (one link, one flow)
+// whose open-loop saturation simulation neither deadlocks nor drains —
+// it runs until its cycle horizon or a cancellation, whichever first.
+func foreverDesign(t *testing.T) (topoJSON, trafficJSON, routesJSON json.RawMessage) {
+	t.Helper()
+	top := nocdr.NewTopology("forever")
+	s0 := top.AddSwitch("")
+	s1 := top.AddSwitch("")
+	if err := top.AttachCore(0, s0); err != nil {
+		t.Fatal(err)
+	}
+	if err := top.AttachCore(1, s1); err != nil {
+		t.Fatal(err)
+	}
+	top.MustAddLink(s0, s1)
+	g := nocdr.NewTraffic("forever-flows")
+	g.AddCore("")
+	g.AddCore("")
+	g.MustAddFlow(0, 1, 100)
+	routes := nocdr.NewRouteTable(1)
+	routes.Set(0, []nocdr.Channel{nocdr.Chan(0, 0)})
+	mustJSON := func(v json.Marshaler) json.RawMessage {
+		data, err := v.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	return mustJSON(top), mustJSON(g), mustJSON(routes)
+}
+
+// submitForeverSim submits the non-terminating simulation job.
+func submitForeverSim(t *testing.T, base string) string {
+	t.Helper()
+	topo, traffic, routes := foreverDesign(t)
+	var sub submitResponse
+	code := postJSON(t, base+"/v1/simulate", map[string]any{
+		"topology": topo, "traffic": traffic, "routes": routes,
+		"config": map[string]any{"max_cycles": int64(4_000_000_000), "load_factor": 1.0},
+	}, &sub)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit forever sim: status %d", code)
+	}
+	return sub.ID
+}
+
+// waitState polls until the job reaches want, failing fast if it lands
+// on a different terminal state instead.
+func waitState(t *testing.T, base, id string, want State) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var st JobStatus
+		getJSON(t, base+"/v1/jobs/"+id, &st)
+		if st.State == want {
+			return
+		}
+		if st.State.terminal() {
+			t.Fatalf("job %s reached terminal state %s (error %q) while waiting for %s", id, st.State, st.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s, want %s", id, st.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestRemoveJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	topo, _, routes := ringDesign(t)
+
+	var sub submitResponse
+	code := postJSON(t, ts.URL+"/v1/remove", map[string]any{
+		"topology": topo, "routes": routes,
+	}, &sub)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/remove: status %d", code)
+	}
+	st := waitTerminal(t, ts.URL, sub.ID)
+	if st.State != StateDone {
+		t.Fatalf("job state %s (error %q), want done", st.State, st.Error)
+	}
+	res, err := json.Marshal(st.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr removeResult
+	if err := json.Unmarshal(res, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if !rr.DeadlockFree {
+		t.Fatal("remove job result is not deadlock-free")
+	}
+	if rr.AddedVCs < 1 || rr.Iterations < 1 {
+		t.Fatalf("expected at least one break, got vcs=%d iters=%d", rr.AddedVCs, rr.Iterations)
+	}
+	if st.Events == 0 {
+		t.Fatal("expected progress events (cycle_broken/vc_added), got none")
+	}
+}
+
+func TestRemoveRejectsBadInput(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	if code := postJSON(t, ts.URL+"/v1/remove", map[string]any{}, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty body accepted: status %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/remove", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d", resp.StatusCode)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/nope", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d", code)
+	}
+}
+
+// TestConcurrentJobs is the acceptance pin: >= 8 jobs in flight at once
+// against one server, all finishing deadlock-free, race-clean under
+// -race.
+func TestConcurrentJobs(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 8, SweepParallel: 2})
+	topo, traffic, routes := ringDesign(t)
+
+	const n = 12
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var sub submitResponse
+			var code int
+			switch i % 3 {
+			case 0:
+				code = postJSON(t, ts.URL+"/v1/remove", map[string]any{
+					"topology": topo, "routes": routes,
+				}, &sub)
+			case 1:
+				code = postJSON(t, ts.URL+"/v1/simulate", map[string]any{
+					"topology": topo, "traffic": traffic, "routes": routes,
+					"config": map[string]any{"max_cycles": 3000, "load_factor": 0.3, "epoch_cycles": 500},
+				}, &sub)
+			case 2:
+				code = postJSON(t, ts.URL+"/v1/sweep", map[string]any{
+					"grid": map[string]any{
+						"benchmarks":    []string{"D26_media"},
+						"switch_counts": []int{8},
+						"policies":      []string{"smallest"},
+						"seeds":         []int64{0},
+					},
+				}, &sub)
+			}
+			if code != http.StatusAccepted {
+				t.Errorf("job %d: submit status %d", i, code)
+				return
+			}
+			ids[i] = sub.ID
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i, id := range ids {
+		st := waitTerminal(t, ts.URL, id)
+		if st.State != StateDone {
+			t.Errorf("job %d (%s): state %s error %q", i, id, st.State, st.Error)
+		}
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+
+	id := submitForeverSim(t, ts.URL)
+	waitState(t, ts.URL, id, StateRunning)
+	if code := postJSON(t, ts.URL+"/v1/jobs/"+id+"/cancel", nil, nil); code != http.StatusAccepted {
+		t.Fatalf("cancel: status %d", code)
+	}
+	st := waitTerminal(t, ts.URL, id)
+	if st.State != StateCanceled {
+		t.Fatalf("state %s after cancel, want canceled", st.State)
+	}
+	if !strings.Contains(st.Error, "canceled") {
+		t.Fatalf("error %q does not mention cancellation", st.Error)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1})
+	topo, _, routes := ringDesign(t)
+
+	// Occupy the single worker with a never-ending job, then queue
+	// another and cancel it before it starts.
+	blocker := submitForeverSim(t, ts.URL)
+	waitState(t, ts.URL, blocker, StateRunning)
+	var queued submitResponse
+	postJSON(t, ts.URL+"/v1/remove", map[string]any{"topology": topo, "routes": routes}, &queued)
+
+	if code := postJSON(t, ts.URL+"/v1/jobs/"+queued.ID+"/cancel", nil, nil); code != http.StatusAccepted {
+		t.Fatalf("cancel queued: status %d", code)
+	}
+	st := waitTerminal(t, ts.URL, queued.ID)
+	if st.State != StateCanceled {
+		t.Fatalf("queued job state %s, want canceled", st.State)
+	}
+	// Unblock the worker so Cleanup's Close does not wait on a 4e9-cycle
+	// simulation.
+	if _, err := s.cancelJob(blocker); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, ts.URL, blocker)
+}
+
+// TestEventsSSE streams a remove job's feed and checks replay order and
+// the terminal state event.
+func TestEventsSSE(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	topo, _, routes := ringDesign(t)
+
+	var sub submitResponse
+	postJSON(t, ts.URL+"/v1/remove", map[string]any{"topology": topo, "routes": routes}, &sub)
+	waitTerminal(t, ts.URL, sub.ID)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	var kinds []string
+	var sawState bool
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if k, ok := strings.CutPrefix(line, "event: "); ok {
+			kinds = append(kinds, k)
+			if k == "state" {
+				sawState = true
+			}
+		}
+	}
+	if !sawState {
+		t.Fatalf("no terminal state event in stream: %v", kinds)
+	}
+	var broke, added bool
+	for _, k := range kinds {
+		broke = broke || k == "cycle_broken"
+		added = added || k == "vc_added"
+	}
+	if !broke || !added {
+		t.Fatalf("expected cycle_broken and vc_added events, got %v", kinds)
+	}
+}
+
+func TestSweepJobReportShape(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, SweepParallel: 2})
+	var sub submitResponse
+	code := postJSON(t, ts.URL+"/v1/sweep", map[string]any{
+		"grid": map[string]any{
+			"benchmarks":    []string{"D26_media"},
+			"switch_counts": []int{8, 11},
+		},
+	}, &sub)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit sweep: status %d", code)
+	}
+	st := waitTerminal(t, ts.URL, sub.ID)
+	if st.State != StateDone {
+		t.Fatalf("sweep state %s error %q", st.State, st.Error)
+	}
+	data, _ := json.Marshal(st.Result)
+	var rep nocdr.SweepReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("sweep results %d, want 2", len(rep.Results))
+	}
+	if st.Events < 2 {
+		t.Fatalf("expected >= 2 sweep_cell events, got %d", st.Events)
+	}
+	// Unknown benchmark specs must be rejected at submission, not
+	// deferred to the job.
+	if code := postJSON(t, ts.URL+"/v1/sweep", map[string]any{
+		"grid": map[string]any{"benchmarks": []string{"no_such_bench"}},
+	}, nil); code != http.StatusBadRequest {
+		t.Fatalf("invalid grid accepted: status %d", code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	var hz map[string]string
+	if code := getJSON(t, ts.URL+"/healthz", &hz); code != http.StatusOK || hz["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, hz)
+	}
+}
+
+// TestQueueOverflow pins the 503 backpressure path.
+func TestQueueOverflow(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 1})
+	defer s.Close()
+	block := make(chan struct{})
+	defer close(block) // before Close in LIFO order, so the pool drains
+	started := make(chan struct{})
+	blocked := func(ctx context.Context, j *Job) (any, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-block
+		return nil, nil
+	}
+	// Occupy the worker and wait until it has actually popped the job
+	// off the queue, then fill the single queue slot.
+	if _, err := s.submit("test", blocked); err != nil {
+		t.Fatalf("submit blocker: %v", err)
+	}
+	<-started
+	if _, err := s.submit("test", blocked); err != nil {
+		t.Fatalf("submit queued: %v", err)
+	}
+	// Worker busy, queue full: the next submission must bounce.
+	_, err := s.submit("test", blocked)
+	if err == nil || !strings.Contains(err.Error(), "queue full") {
+		t.Fatalf("expected queue-full error, got %v", err)
+	}
+}

@@ -1,9 +1,11 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"github.com/nocdr/nocdr/internal/nocerr"
 	"github.com/nocdr/nocdr/internal/route"
 	"github.com/nocdr/nocdr/internal/topology"
 	"github.com/nocdr/nocdr/internal/traffic"
@@ -59,14 +61,23 @@ type Result struct {
 //
 // The output is deterministic for fixed inputs.
 func Synthesize(g *traffic.Graph, opts Options) (*Result, error) {
+	return SynthesizeContext(context.Background(), g, opts)
+}
+
+// SynthesizeContext is Synthesize with cooperative cancellation, checked
+// between the partition, link-construction and routing phases.
+func SynthesizeContext(ctx context.Context, g *traffic.Graph, opts Options) (*Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	if opts.SwitchCount < 1 {
-		return nil, fmt.Errorf("synth: switch count %d must be >= 1", opts.SwitchCount)
+		return nil, fmt.Errorf("synth: switch count %d must be >= 1: %w", opts.SwitchCount, nocerr.ErrInvalidInput)
 	}
 	if g.NumCores() == 0 {
-		return nil, fmt.Errorf("synth: communication graph has no cores")
+		return nil, fmt.Errorf("synth: communication graph has no cores: %w", nocerr.ErrInvalidInput)
+	}
+	if err := canceled(ctx); err != nil {
+		return nil, err
 	}
 
 	parts := partition(g, opts.SwitchCount, opts.seed())
@@ -182,6 +193,9 @@ func Synthesize(g *traffic.Graph, opts Options) (*Result, error) {
 		}
 	}
 
+	if err := canceled(ctx); err != nil {
+		return nil, err
+	}
 	tab, err := route.ShortestPathsWeighted(top, g, chordCost)
 	if err != nil {
 		return nil, err
@@ -190,4 +204,13 @@ func Synthesize(g *traffic.Graph, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("synth: generated routes invalid: %w", err)
 	}
 	return &Result{Topology: top, Routes: tab}, nil
+}
+
+// canceled folds a done context into the sentinel scheme; see
+// nocerr.ErrCanceled.
+func canceled(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", nocerr.ErrCanceled, err)
+	}
+	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"github.com/nocdr/nocdr/internal/nocerr"
 )
 
 // jsonTopology is the on-disk schema, kept separate from the in-memory
@@ -56,27 +58,27 @@ func (t *Topology) MarshalJSON() ([]byte, error) {
 func (t *Topology) UnmarshalJSON(data []byte) error {
 	var jt jsonTopology
 	if err := json.Unmarshal(data, &jt); err != nil {
-		return fmt.Errorf("topology: %w", err)
+		return fmt.Errorf("topology: %w: %w", nocerr.ErrInvalidInput, err)
 	}
 	nt := New(jt.Name)
 	sort.Slice(jt.Switches, func(i, j int) bool { return jt.Switches[i].ID < jt.Switches[j].ID })
 	for i, s := range jt.Switches {
 		if s.ID != i {
-			return fmt.Errorf("topology: switch IDs must be dense, got %d at position %d", s.ID, i)
+			return fmt.Errorf("topology: switch IDs must be dense, got %d at position %d: %w", s.ID, i, nocerr.ErrInvalidInput)
 		}
 		nt.AddSwitch(s.Name)
 	}
 	sort.Slice(jt.Links, func(i, j int) bool { return jt.Links[i].ID < jt.Links[j].ID })
 	for i, l := range jt.Links {
 		if l.ID != i {
-			return fmt.Errorf("topology: link IDs must be dense, got %d at position %d", l.ID, i)
+			return fmt.Errorf("topology: link IDs must be dense, got %d at position %d: %w", l.ID, i, nocerr.ErrInvalidInput)
 		}
 		id, err := nt.AddLink(SwitchID(l.From), SwitchID(l.To))
 		if err != nil {
 			return err
 		}
 		if l.VCs < 1 {
-			return fmt.Errorf("topology: link %d has %d VCs", l.ID, l.VCs)
+			return fmt.Errorf("topology: link %d has %d VCs: %w", l.ID, l.VCs, nocerr.ErrInvalidInput)
 		}
 		for nt.links[id].VCs < l.VCs {
 			if _, err := nt.AddVC(id); err != nil {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"github.com/nocdr/nocdr/internal/nocerr"
 )
 
 // The paper evaluates on six SoC benchmarks from Murali et al. (ASPDAC'09)
@@ -37,7 +39,7 @@ func ByName(name string) (*Graph, error) {
 	case "D38_tvo":
 		return D38TVO(), nil
 	}
-	return nil, fmt.Errorf("traffic: unknown benchmark %q (valid: %v)", name, BenchmarkNames())
+	return nil, fmt.Errorf("traffic: unknown benchmark %q (valid: %v): %w", name, BenchmarkNames(), nocerr.ErrNotFound)
 }
 
 // AllBenchmarks returns every benchmark graph in BenchmarkNames order.

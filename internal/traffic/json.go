@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"github.com/nocdr/nocdr/internal/nocerr"
 )
 
 type jsonGraph struct {
@@ -45,18 +47,18 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 func (g *Graph) UnmarshalJSON(data []byte) error {
 	var jg jsonGraph
 	if err := json.Unmarshal(data, &jg); err != nil {
-		return fmt.Errorf("traffic: %w", err)
+		return fmt.Errorf("traffic: %w: %w", nocerr.ErrInvalidInput, err)
 	}
 	ng := NewGraph(jg.Name)
 	for i, c := range jg.Cores {
 		if c.ID != i {
-			return fmt.Errorf("traffic: core IDs must be dense, got %d at position %d", c.ID, i)
+			return fmt.Errorf("traffic: core IDs must be dense, got %d at position %d: %w", c.ID, i, nocerr.ErrInvalidInput)
 		}
 		ng.AddCore(c.Name)
 	}
 	for i, f := range jg.Flows {
 		if f.ID != i {
-			return fmt.Errorf("traffic: flow IDs must be dense, got %d at position %d", f.ID, i)
+			return fmt.Errorf("traffic: flow IDs must be dense, got %d at position %d: %w", f.ID, i, nocerr.ErrInvalidInput)
 		}
 		id, err := ng.AddFlow(CoreID(f.Src), CoreID(f.Dst), f.Bandwidth)
 		if err != nil {

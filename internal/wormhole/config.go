@@ -73,6 +73,13 @@ type Config struct {
 	// CollectLatencies records every delivered packet's latency so the
 	// Stats percentile helpers work (costs memory on long runs).
 	CollectLatencies bool
+	// EpochCycles, when > 0 together with OnEpoch, emits an EpochStats
+	// snapshot every EpochCycles simulated cycles — the progress feed for
+	// long runs. Default 0 (no epochs).
+	EpochCycles int64
+	// OnEpoch receives the periodic snapshots. It runs on the simulating
+	// goroutine; a slow callback slows the simulation.
+	OnEpoch func(EpochStats)
 	// Reference selects the unoptimized arbitration path: a full scan
 	// over every channel per cycle with map-based next-hop resolution and
 	// per-link map grouping — the seed engine's cost profile. It decides
@@ -125,7 +132,21 @@ func (c Config) Validate() error {
 	if c.WarmupCycles < 0 {
 		return fmt.Errorf("wormhole: WarmupCycles %d must be >= 0", c.WarmupCycles)
 	}
+	if c.EpochCycles < 0 {
+		return fmt.Errorf("wormhole: EpochCycles %d must be >= 0", c.EpochCycles)
+	}
 	return nil
+}
+
+// EpochStats is one periodic progress snapshot of a running simulation
+// (see Config.EpochCycles/OnEpoch): cumulative counters as of Cycle.
+type EpochStats struct {
+	Cycle            int64
+	InjectedPackets  int64
+	DeliveredPackets int64
+	DeliveredFlits   int64
+	// InFlight is the number of packets currently inside the fabric.
+	InFlight int
 }
 
 // Stats is the outcome of a simulation run.

@@ -1,9 +1,11 @@
 package wormhole
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"github.com/nocdr/nocdr/internal/nocerr"
 	"github.com/nocdr/nocdr/internal/route"
 	"github.com/nocdr/nocdr/internal/topology"
 	"github.com/nocdr/nocdr/internal/traffic"
@@ -711,8 +713,44 @@ func (s *Simulator) drained() bool {
 // (unless recovery is enabled, which resolves deadlocks at runtime), or
 // (in drain mode) full delivery, and returns the final statistics.
 func (s *Simulator) Run() (*Stats, error) {
+	return s.RunContext(context.Background())
+}
+
+// ctxCheckMask throttles the cooperative cancellation poll in the
+// stepping loop: ctx.Done is consulted once every (mask+1) cycles so the
+// per-cycle overhead is one integer AND on the hot path.
+const ctxCheckMask = 1023
+
+// RunContext is Run with cooperative cancellation and the epoch feed:
+// the flit-stepping loop polls ctx every few hundred cycles and returns
+// an error wrapping both nocerr.ErrCanceled and ctx.Err() when the
+// context is done, and emits Config.OnEpoch snapshots every
+// Config.EpochCycles cycles.
+func (s *Simulator) RunContext(ctx context.Context) (*Stats, error) {
+	done := ctx.Done()
+	var nextEpoch int64 = -1
+	if s.cfg.OnEpoch != nil && s.cfg.EpochCycles > 0 {
+		nextEpoch = s.now + s.cfg.EpochCycles
+	}
 	for s.now < s.cfg.MaxCycles {
+		if done != nil && s.now&ctxCheckMask == 0 {
+			select {
+			case <-done:
+				return nil, fmt.Errorf("%w at cycle %d: %w", nocerr.ErrCanceled, s.now, ctx.Err())
+			default:
+			}
+		}
 		s.Step()
+		if nextEpoch >= 0 && s.now >= nextEpoch {
+			s.cfg.OnEpoch(EpochStats{
+				Cycle:            s.now,
+				InjectedPackets:  s.stats.InjectedPackets,
+				DeliveredPackets: s.stats.DeliveredPackets,
+				DeliveredFlits:   s.stats.DeliveredFlits,
+				InFlight:         s.live,
+			})
+			nextEpoch = s.now + s.cfg.EpochCycles
+		}
 		if s.now-s.lastProgress >= s.cfg.StallThreshold {
 			if s.cfg.Recovery && s.tryRecover() {
 				continue

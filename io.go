@@ -13,15 +13,26 @@ import (
 // This file holds the JSON/DOT I/O surface of the public API: topologies,
 // communication graphs and route tables all round-trip through stable,
 // human-editable JSON schemas, and topologies/CDGs render to Graphviz DOT.
+// Every error is wrapped "nocdr: ..."; malformed inputs additionally wrap
+// ErrInvalidInput for errors.Is.
 
 // ReadTopology parses a topology from JSON.
-func ReadTopology(r io.Reader) (*Topology, error) { return topology.Read(r) }
+func ReadTopology(r io.Reader) (*Topology, error) {
+	top, err := topology.Read(r)
+	return top, wrapErr(err)
+}
 
 // ReadTraffic parses a communication graph from JSON.
-func ReadTraffic(r io.Reader) (*TrafficGraph, error) { return traffic.Read(r) }
+func ReadTraffic(r io.Reader) (*TrafficGraph, error) {
+	g, err := traffic.Read(r)
+	return g, wrapErr(err)
+}
 
 // ReadRoutes parses a route table from JSON.
-func ReadRoutes(r io.Reader) (*RouteTable, error) { return route.Read(r) }
+func ReadRoutes(r io.Reader) (*RouteTable, error) {
+	tab, err := route.Read(r)
+	return tab, wrapErr(err)
+}
 
 // LoadTopology reads a topology from a JSON file.
 func LoadTopology(path string) (*Topology, error) {
@@ -30,7 +41,7 @@ func LoadTopology(path string) (*Topology, error) {
 		return nil, fmt.Errorf("nocdr: %w", err)
 	}
 	defer f.Close()
-	return topology.Read(f)
+	return ReadTopology(f)
 }
 
 // LoadTraffic reads a communication graph from a JSON file.
@@ -40,7 +51,7 @@ func LoadTraffic(path string) (*TrafficGraph, error) {
 		return nil, fmt.Errorf("nocdr: %w", err)
 	}
 	defer f.Close()
-	return traffic.Read(f)
+	return ReadTraffic(f)
 }
 
 // LoadRoutes reads a route table from a JSON file.
@@ -50,7 +61,7 @@ func LoadRoutes(path string) (*RouteTable, error) {
 		return nil, fmt.Errorf("nocdr: %w", err)
 	}
 	defer f.Close()
-	return route.Read(f)
+	return ReadRoutes(f)
 }
 
 // SaveJSON writes any of the JSON-serializable artifacts (*Topology,
@@ -62,7 +73,7 @@ func SaveJSON(path string, artifact interface{ Write(io.Writer) error }) error {
 	}
 	defer f.Close()
 	if err := artifact.Write(f); err != nil {
-		return err
+		return wrapErr(err)
 	}
-	return f.Close()
+	return wrapErr(f.Close())
 }

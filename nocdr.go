@@ -17,17 +17,26 @@
 // SoC benchmarks, and a flit-level wormhole simulator that demonstrates
 // deadlocks before removal and their absence afterwards.
 //
-// Quick start:
+// Quick start — the context-first Session pipeline API:
 //
+//	s := nocdr.NewSession()
 //	g, _ := nocdr.Benchmark("D26_media")
-//	design, _ := nocdr.Synthesize(g, nocdr.SynthOptions{SwitchCount: 14})
-//	result, _ := nocdr.RemoveDeadlocks(design.Topology, design.Routes, nocdr.RemovalOptions{})
+//	design, _ := s.Synthesize(ctx, g, nocdr.SynthOptions{SwitchCount: 14})
+//	result, _ := s.RemoveDeadlocks(ctx, design.Topology, design.Routes)
 //	fmt.Println("added VCs:", result.AddedVCs)
+//
+// Session methods accept a context.Context, stream progress Events (see
+// WithProgress), respect budgets (WithVCLimit), and fail with typed
+// sentinel errors (ErrCyclicCDG, ErrVCLimit, ErrCanceled) that support
+// errors.Is/As. The pre-Session free functions below remain as thin
+// deprecated wrappers; see MIGRATION.md for the one-to-one mapping.
 //
 // See examples/ for runnable programs and DESIGN.md for the system map.
 package nocdr
 
 import (
+	"context"
+
 	"github.com/nocdr/nocdr/internal/cdg"
 	"github.com/nocdr/nocdr/internal/core"
 	"github.com/nocdr/nocdr/internal/ordering"
@@ -91,12 +100,30 @@ type (
 	CostTable = core.CostTable
 	// Direction is a break direction (forward/backward, Figures 5–6).
 	Direction = core.Direction
+	// DirectionPolicy selects how Algorithm 1 chooses between the
+	// forward and backward break (see WithPolicy).
+	DirectionPolicy = core.DirectionPolicy
+	// CycleSelection selects which CDG cycle Algorithm 1 attacks next
+	// (see WithSelection).
+	CycleSelection = core.CycleSelection
 )
 
 // Re-exported removal constants.
 const (
 	Forward  = core.Forward
 	Backward = core.Backward
+
+	// BestOfBoth compares forward and backward break costs and takes
+	// the cheaper (the paper's policy); ForwardOnly/BackwardOnly exist
+	// for ablations.
+	BestOfBoth   = core.BestOfBoth
+	ForwardOnly  = core.ForwardOnly
+	BackwardOnly = core.BackwardOnly
+
+	// SmallestFirst breaks the shortest CDG cycle first (the paper's
+	// heuristic); FirstFound breaks an arbitrary deterministic cycle.
+	SmallestFirst = core.SmallestFirst
+	FirstFound    = core.FirstFound
 )
 
 // Baselines and models.
@@ -147,59 +174,96 @@ func NewRouteTable(n int) *RouteTable { return route.NewTable(n) }
 // Chan constructs a Channel from a link and VC index.
 func Chan(link LinkID, vc int) Channel { return topology.Chan(link, vc) }
 
-// Benchmark returns one of the paper's SoC benchmarks by name; see
-// BenchmarkNames.
-func Benchmark(name string) (*TrafficGraph, error) { return traffic.ByName(name) }
+// Benchmark returns one of the paper's SoC benchmarks by name; an
+// unknown name fails with ErrNotFound. See BenchmarkNames.
+func Benchmark(name string) (*TrafficGraph, error) {
+	g, err := traffic.ByName(name)
+	return g, wrapErr(err)
+}
 
 // BenchmarkNames lists the shipped benchmarks in the paper's Figure 10
 // order: D26_media, D36_4, D36_6, D36_8, D35_bot, D38_tvo.
 func BenchmarkNames() []string { return traffic.BenchmarkNames() }
 
+// sessionFromRemovalOptions builds the Session equivalent of a legacy
+// RemovalOptions value, so the deprecated wrappers stay byte-identical
+// to the Session path (pinned by the differential tests).
+func sessionFromRemovalOptions(opts RemovalOptions) *Session {
+	return &Session{
+		vcLimit:       opts.VCLimit,
+		maxIterations: opts.MaxIterations,
+		policy:        opts.Policy,
+		selection:     opts.Selection,
+		fullRebuild:   opts.FullRebuild,
+		parallel:      1,
+		onBreak:       opts.OnBreak,
+	}
+}
+
 // Synthesize builds an application-specific topology and routes for a
 // communication graph (substitute for the paper's reference [9]).
+//
+// Deprecated: use NewSession and (*Session).Synthesize, which accepts a
+// context.Context.
 func Synthesize(g *TrafficGraph, opts SynthOptions) (*Design, error) {
-	return synth.Synthesize(g, opts)
+	return NewSession().Synthesize(context.Background(), g, opts)
 }
 
 // ComputeRoutes derives deterministic load-aware shortest-path routes for
 // every flow on an existing topology with attached cores.
+//
+// Deprecated: use NewSession and (*Session).ComputeRoutes.
 func ComputeRoutes(top *Topology, g *TrafficGraph) (*RouteTable, error) {
-	return route.ShortestPaths(top, g)
+	return NewSession().ComputeRoutes(top, g)
 }
 
 // BuildCDG constructs the channel dependency graph for a routed topology.
+//
+// Deprecated: use NewSession and (*Session).BuildCDG.
 func BuildCDG(top *Topology, tab *RouteTable) (*CDG, error) {
-	return cdg.Build(top, tab)
+	return NewSession().BuildCDG(top, tab)
 }
 
 // DeadlockFree reports whether the routed topology's CDG is acyclic.
+//
+// Deprecated: use NewSession and (*Session).DeadlockFree.
 func DeadlockFree(top *Topology, tab *RouteTable) (bool, error) {
-	return core.DeadlockFree(top, tab)
+	return NewSession().DeadlockFree(top, tab)
 }
 
 // RemoveDeadlocks runs the paper's Algorithm 1: it returns modified
 // copies of the topology and routes whose CDG is acyclic, adding the
 // minimum virtual channels its cost heuristic finds. Inputs are never
 // mutated.
+//
+// Deprecated: use NewSession (WithPolicy, WithSelection, WithVCLimit,
+// WithFullRebuild, WithMaxIterations) and (*Session).RemoveDeadlocks,
+// which accepts a context.Context and streams progress events.
 func RemoveDeadlocks(top *Topology, tab *RouteTable, opts RemovalOptions) (*RemovalResult, error) {
-	return core.Remove(top, tab, opts)
+	return sessionFromRemovalOptions(opts).RemoveDeadlocks(context.Background(), top, tab)
 }
 
 // ForwardCostTable computes Algorithm 2's forward cost table for a cycle
 // (the paper's Table 1); useful for inspecting why a break was chosen.
+//
+// Deprecated: use NewSession and (*Session).CostTable with Forward.
 func ForwardCostTable(cycle []Channel, tab *RouteTable) (*CostTable, error) {
-	return core.BuildCostTable(core.Forward, cycle, tab)
+	return NewSession().CostTable(Forward, cycle, tab)
 }
 
 // BackwardCostTable is ForwardCostTable's mirror (Algorithm 1 step 6).
+//
+// Deprecated: use NewSession and (*Session).CostTable with Backward.
 func BackwardCostTable(cycle []Channel, tab *RouteTable) (*CostTable, error) {
-	return core.BuildCostTable(core.Backward, cycle, tab)
+	return NewSession().CostTable(Backward, cycle, tab)
 }
 
 // ApplyResourceOrdering runs the paper's comparison baseline on the same
 // inputs RemoveDeadlocks takes.
+//
+// Deprecated: use NewSession and (*Session).ApplyResourceOrdering.
 func ApplyResourceOrdering(top *Topology, tab *RouteTable, scheme OrderingScheme) (*OrderingResult, error) {
-	return ordering.Apply(top, tab, scheme)
+	return NewSession().ApplyResourceOrdering(top, tab, scheme)
 }
 
 // DefaultPowerParams returns the 65 nm-class model parameters used by the
@@ -232,15 +296,16 @@ func EstimateAreaPhysical(p PowerParams, top *Topology) AreaReport {
 
 // NewSimulator builds a flit-level wormhole simulator for a routed
 // workload.
+//
+// Deprecated: use NewSession and (*Session).NewSimulator.
 func NewSimulator(top *Topology, g *TrafficGraph, tab *RouteTable, cfg SimConfig) (*Simulator, error) {
-	return wormhole.New(top, g, tab, cfg)
+	return NewSession().NewSimulator(top, g, tab, cfg)
 }
 
 // Simulate is the one-shot convenience: build a simulator and run it.
+//
+// Deprecated: use NewSession and (*Session).Simulate, which accepts a
+// context.Context and streams epoch progress events.
 func Simulate(top *Topology, g *TrafficGraph, tab *RouteTable, cfg SimConfig) (*SimStats, error) {
-	sim, err := wormhole.New(top, g, tab, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return sim.Run()
+	return NewSession().Simulate(context.Background(), top, g, tab, cfg)
 }

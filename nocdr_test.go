@@ -1,6 +1,7 @@
 package nocdr_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -45,12 +46,12 @@ func buildRing() (*nocdr.Topology, *nocdr.TrafficGraph, *nocdr.RouteTable) {
 
 func ExampleRemoveDeadlocks() {
 	top, _, tab := buildRing()
-	free, _ := nocdr.DeadlockFree(top, tab)
+	free, _ := nocdr.NewSession().DeadlockFree(top, tab)
 	fmt.Println("deadlock-free before:", free)
-	res, _ := nocdr.RemoveDeadlocks(top, tab, nocdr.RemovalOptions{})
+	res, _ := nocdr.NewSession().RemoveDeadlocks(context.Background(), top, tab)
 	fmt.Println("added VCs:", res.AddedVCs)
 	fmt.Println("breaks:", res.Iterations)
-	free, _ = nocdr.DeadlockFree(res.Topology, res.Routes)
+	free, _ = nocdr.NewSession().DeadlockFree(res.Topology, res.Routes)
 	fmt.Println("deadlock-free after:", free)
 	// Output:
 	// deadlock-free before: false
@@ -61,9 +62,9 @@ func ExampleRemoveDeadlocks() {
 
 func ExampleForwardCostTable() {
 	top, _, tab := buildRing()
-	g, _ := nocdr.BuildCDG(top, tab)
+	g, _ := nocdr.NewSession().BuildCDG(top, tab)
 	cycle := g.SmallestCycle()
-	ct, _ := nocdr.ForwardCostTable(cycle, tab)
+	ct, _ := nocdr.NewSession().CostTable(nocdr.Forward, cycle, tab)
 	// Reprint the paper's Table 1.
 	header := "    "
 	for e := range cycle {
@@ -97,22 +98,22 @@ func TestEndToEndBenchmarkFlow(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		design, err := nocdr.Synthesize(g, nocdr.SynthOptions{SwitchCount: 10})
+		design, err := nocdr.NewSession().Synthesize(context.Background(), g, nocdr.SynthOptions{SwitchCount: 10})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		res, err := nocdr.RemoveDeadlocks(design.Topology, design.Routes, nocdr.RemovalOptions{})
+		res, err := nocdr.NewSession().RemoveDeadlocks(context.Background(), design.Topology, design.Routes)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		free, err := nocdr.DeadlockFree(res.Topology, res.Routes)
+		free, err := nocdr.NewSession().DeadlockFree(res.Topology, res.Routes)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !free {
 			t.Errorf("%s: removal left a cyclic CDG", name)
 		}
-		ro, err := nocdr.ApplyResourceOrdering(design.Topology, design.Routes, nocdr.HopIndex)
+		ro, err := nocdr.NewSession().ApplyResourceOrdering(design.Topology, design.Routes, nocdr.HopIndex)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -135,11 +136,11 @@ func TestComputeRoutesFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	design, err := nocdr.Synthesize(g, nocdr.SynthOptions{SwitchCount: 8})
+	design, err := nocdr.NewSession().Synthesize(context.Background(), g, nocdr.SynthOptions{SwitchCount: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	tab, err := nocdr.ComputeRoutes(design.Topology, g)
+	tab, err := nocdr.NewSession().ComputeRoutes(design.Topology, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestComputeRoutesFacade(t *testing.T) {
 
 func TestSimulateFacade(t *testing.T) {
 	top, g, tab := buildRing()
-	st, err := nocdr.Simulate(top, g, tab, nocdr.SimConfig{
+	st, err := nocdr.NewSession().Simulate(context.Background(), top, g, tab, nocdr.SimConfig{
 		MaxCycles:  20000,
 		LoadFactor: 1.0,
 	})
@@ -160,11 +161,11 @@ func TestSimulateFacade(t *testing.T) {
 	if !st.Deadlocked {
 		t.Error("saturated cyclic ring did not deadlock")
 	}
-	res, err := nocdr.RemoveDeadlocks(top, tab, nocdr.RemovalOptions{})
+	res, err := nocdr.NewSession().RemoveDeadlocks(context.Background(), top, tab)
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err = nocdr.Simulate(res.Topology, g, res.Routes, nocdr.SimConfig{
+	st, err = nocdr.NewSession().Simulate(context.Background(), res.Topology, g, res.Routes, nocdr.SimConfig{
 		MaxCycles:  20000,
 		LoadFactor: 1.0,
 	})
@@ -212,7 +213,7 @@ func TestJSONFileRoundTrips(t *testing.T) {
 		t.Error(err)
 	}
 	// The loaded design must behave identically.
-	res, err := nocdr.RemoveDeadlocks(top2, tab2, nocdr.RemovalOptions{})
+	res, err := nocdr.NewSession().RemoveDeadlocks(context.Background(), top2, tab2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,11 +243,11 @@ func TestLoadErrors(t *testing.T) {
 
 func TestBackwardCostTableFacade(t *testing.T) {
 	top, _, tab := buildRing()
-	g, err := nocdr.BuildCDG(top, tab)
+	g, err := nocdr.NewSession().BuildCDG(top, tab)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ct, err := nocdr.BackwardCostTable(g.SmallestCycle(), tab)
+	ct, err := nocdr.NewSession().CostTable(nocdr.Backward, g.SmallestCycle(), tab)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,24 +14,35 @@ import "github.com/nocdr/nocdr/internal/regular"
 type Grid = regular.Grid
 
 // Mesh builds a cols×rows bidirectional 2D mesh, one core per switch.
-func Mesh(cols, rows int) (*Grid, error) { return regular.Mesh(cols, rows) }
+func Mesh(cols, rows int) (*Grid, error) {
+	g, err := regular.Mesh(cols, rows)
+	return g, wrapErr(err)
+}
 
 // Torus builds a cols×rows bidirectional 2D torus, one core per switch.
-func Torus(cols, rows int) (*Grid, error) { return regular.Torus(cols, rows) }
+func Torus(cols, rows int) (*Grid, error) {
+	g, err := regular.Torus(cols, rows)
+	return g, wrapErr(err)
+}
 
 // Ring builds an n-switch ring, one core per switch; bidirectional rings
 // get opposing link pairs, unidirectional rings are the minimal
 // deadlock-prone fabric (the paper's Figure 1).
-func Ring(n int, bidirectional bool) (*Grid, error) { return regular.Ring(n, bidirectional) }
+func Ring(n int, bidirectional bool) (*Grid, error) {
+	g, err := regular.Ring(n, bidirectional)
+	return g, wrapErr(err)
+}
 
 // DORRoutes computes dimension-ordered (XY) routes on a generated grid:
 // deadlock-free on meshes, deadlock-prone across torus wrap links.
 func DORRoutes(g *Grid, tg *TrafficGraph) (*RouteTable, error) {
-	return regular.DORRoutes(g, tg)
+	tab, err := regular.DORRoutes(g, tg)
+	return tab, wrapErr(err)
 }
 
 // UniformTraffic builds the stride-permutation workload (core i sends to
 // core i+stride mod n) used to exercise ring and torus datelines.
 func UniformTraffic(n, stride int, bandwidth float64) (*TrafficGraph, error) {
-	return regular.UniformTraffic(n, stride, bandwidth)
+	g, err := regular.UniformTraffic(n, stride, bandwidth)
+	return g, wrapErr(err)
 }

@@ -4,8 +4,14 @@
 GO ?= go
 # Output file for the pinned regression benchmarks (bench-pin).
 BENCH_OUT ?= bench-pin.txt
+# Per-target budget and package scope for fuzz-smoke; deep-verify.yml
+# overrides both (FUZZTIME=5m, one package per matrix job).
+FUZZTIME ?= 10s
+FUZZ_PKGS ?= ./...
+# Minimum total statement coverage accepted by the cover gate.
+COVER_MIN ?= 70
 
-.PHONY: build test race bench bench-pin fmt vet lint fuzz-smoke sweep-smoke examples ci
+.PHONY: build test race bench bench-pin fmt vet lint vulncheck cover fuzz-smoke sweep-smoke deep-sweep examples ci
 
 build:
 	$(GO) build ./...
@@ -38,6 +44,24 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# Known-vulnerability scan. CI installs govulncheck and fails on
+# findings; local runs skip gracefully when the binary is absent.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
+# Full-suite coverage with a floor on the total: new scenario surface
+# must bring its tests along.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "total statement coverage: $$total% (floor: $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t + 0 < min + 0) ? 1 : 0 }' || { \
+		echo "coverage $$total% is below the $(COVER_MIN)% floor"; exit 1; }
+
 # Static analysis. CI installs staticcheck and fails on findings; local
 # runs skip gracefully when the binary is absent (the container image may
 # have no network to install it).
@@ -48,19 +72,37 @@ lint:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
-# Simulated verification sweep on one benchmark with two seeds; CI asserts
-# zero post-removal deadlocks in the JSON report. The sweep itself exits
-# nonzero if any post-removal design deadlocks.
+# Simulated verification sweeps: the tool itself exits non-zero on any
+# post-removal deadlock (or if nothing simulated), so CI just runs these
+# and archives the reports. First the classic single-path grid, then a
+# faulted adaptive mesh exercising the routing and fault axes.
 sweep-smoke:
 	$(GO) run ./cmd/nocexp sweep -simulate -benchmarks D26_media,torus:4x4:uniform \
 		-switches 8,14 -seeds 0,1 -quiet -json sweep-report.json
+	$(GO) run ./cmd/nocexp sweep -simulate -benchmarks mesh:4 \
+		-routing odd-even,min-adaptive -faults 1 -seeds 0 -quiet \
+		-json sweep-report-adaptive.json
 
-# Ten seconds per fuzz target across every package that defines one.
+# The nightly tier's scenario surface: 8x8 and 10x10 meshes and tori,
+# every turn model plus fully-adaptive minimal routing, two seeded link
+# faults per cell, with flit-level verification. The mesh cells carry
+# adversarial permutation traffic (bit-reversal gives min-adaptive a
+# genuinely cyclic union CDG, so removal has real work; transpose
+# stresses turn diversity) and the torus cells are the textbook dateline
+# hazard. ~50 cells, ~20s of removal+simulation on a laptop-class core.
+deep-sweep:
+	$(GO) run ./cmd/nocexp sweep -simulate -faults 2 \
+		-benchmarks mesh:8x8:bitrev,mesh:8x8:transpose,mesh:10x10:transpose,torus:8,torus:10 \
+		-routing west-first,north-last,negative-first,odd-even,min-adaptive \
+		-seeds 0,1 -quiet -json deep-sweep-report.json
+
+# FUZZTIME per fuzz target across every package of FUZZ_PKGS that
+# defines one (PR tier: 10s smoke over ./...; nightly: 5m per package).
 fuzz-smoke:
-	@for pkg in $$($(GO) list ./...); do \
+	@for pkg in $$($(GO) list $(FUZZ_PKGS)); do \
 		for target in $$($(GO) test -list '^Fuzz' $$pkg 2>/dev/null | grep '^Fuzz' || true); do \
-			echo "fuzzing $$pkg $$target"; \
-			$(GO) test -run='^$$' -fuzz="^$$target$$" -fuzztime=10s $$pkg || exit 1; \
+			echo "fuzzing $$pkg $$target ($(FUZZTIME))"; \
+			$(GO) test -run='^$$' -fuzz="^$$target$$" -fuzztime=$(FUZZTIME) $$pkg || exit 1; \
 		done; \
 	done
 
@@ -82,4 +124,4 @@ examples-run:
 serve-smoke:
 	./scripts/serve-smoke.sh
 
-ci: build vet fmt lint race examples sweep-smoke
+ci: build vet fmt lint vulncheck race cover examples sweep-smoke

@@ -12,7 +12,9 @@ import (
 	"strings"
 
 	"github.com/nocdr/nocdr/internal/bench/runner"
+	"github.com/nocdr/nocdr/internal/route"
 	"github.com/nocdr/nocdr/internal/traffic"
+	"github.com/nocdr/nocdr/internal/wormhole"
 )
 
 // runSweep implements the `nocexp sweep` subcommand: parse the grid and
@@ -32,6 +34,11 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	switches := fs.String("switches", "", "comma-separated switch counts (default "+intsCSV(runner.DefaultSwitchCounts)+")")
 	policies := fs.String("policies", "smallest", "comma-separated cycle-selection policies: smallest, first")
 	seeds := fs.String("seeds", "0", "comma-separated seeds for rand benchmark specs")
+	routing := fs.String("routing", "",
+		"comma-separated routing functions for mesh:/torus: preset cells: "+strings.Join(route.TurnModelNames(), ", ")+" (default dor; synthesized benchmarks always use shortest paths)")
+	faults := fs.Int("faults", 0,
+		"mask this many seeded link faults per preset cell (network stays connected; routes regenerate around them — pair with an adaptive -routing, DOR cannot route around faults)")
+	maxPaths := fs.Int("paths", 0, "max candidate paths per flow for adaptive routings (0 = library default)")
 	parallel := fs.Int("parallel", runtime.NumCPU(), "worker count (1 = serial)")
 	jsonOut := fs.String("json", "", "write the deterministic JSON report to this file")
 	fullRebuild := fs.Bool("full-rebuild", false, "use the full-rebuild Remove path instead of the incremental one")
@@ -39,6 +46,8 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		"run flit-level wormhole simulations per cell: a pre-removal negative control (must deadlock when the CDG is cyclic) and a post-removal measurement (must never deadlock); a post-removal deadlock fails the sweep")
 	simCycles := fs.Int64("sim-cycles", 0, "simulation horizon per run (default 20000)")
 	simLoad := fs.Float64("sim-load", 0, "simulation injection load factor in (0,1] (default 1.0 = saturation)")
+	simAdaptive := fs.String("sim-adaptive", "",
+		"per-hop output selection for adaptive cells: first-free (default), least-congested")
 	quiet := fs.Bool("quiet", false, "suppress per-job progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -50,7 +59,12 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 
-	grid := runner.Grid{Policies: splitCSV(*policies)}
+	grid := runner.Grid{
+		Policies: splitCSV(*policies),
+		Routings: splitCSV(*routing),
+		Faults:   *faults,
+		MaxPaths: *maxPaths,
+	}
 	if *benchmarks != "" && *benchmarks != "all" {
 		grid.Benchmarks = splitCSV(*benchmarks)
 	} else {
@@ -63,12 +77,16 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	if grid.Seeds, err = parseInt64s(*seeds); err != nil {
 		return fmt.Errorf("-seeds: %w", err)
 	}
+	adaptiveSel, err := wormhole.ParseAdaptiveSelection(*simAdaptive)
+	if err != nil {
+		return fmt.Errorf("-sim-adaptive: %w", err)
+	}
 
 	opts := runner.Options{
 		Parallel:    *parallel,
 		FullRebuild: *fullRebuild,
 		Simulate:    *simulate,
-		Sim:         runner.SimParams{Cycles: *simCycles, Load: *simLoad},
+		Sim:         runner.SimParams{Cycles: *simCycles, Load: *simLoad, Adaptive: adaptiveSel},
 	}
 	if !*quiet {
 		opts.Progress = stderr
@@ -105,11 +123,28 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		}
 	}
 	if *simulate {
+		// The verification gate lives in the tool itself: any post-removal
+		// deadlock — and a sweep that simulated nothing at all — exits
+		// non-zero, so CI needs no external report inspection.
+		simulated := 0
 		for _, r := range rep.Results {
-			if r.Sim != nil && r.Sim.PostDeadlock {
-				return fmt.Errorf("verification FAILED: %s@%d/seed%d deadlocked after removal",
-					r.Benchmark, r.SwitchCount, r.Seed)
+			if r.Sim == nil {
+				continue
 			}
+			simulated++
+			if r.Sim.PostDeadlock {
+				cell := fmt.Sprintf("%s@%d/%s/seed%d", r.Benchmark, r.SwitchCount, r.Policy, r.Seed)
+				if r.Routing != "" {
+					cell += "/" + r.Routing
+				}
+				if r.Faults > 0 {
+					cell += fmt.Sprintf("/f%d", r.Faults)
+				}
+				return fmt.Errorf("verification FAILED: %s deadlocked after removal", cell)
+			}
+		}
+		if simulated == 0 && !rep.Canceled {
+			return fmt.Errorf("verification FAILED: -simulate was set but no cell ran a simulation")
 		}
 	}
 	if rep.Canceled {

@@ -22,6 +22,7 @@ import (
 	"github.com/nocdr/nocdr/internal/core"
 	"github.com/nocdr/nocdr/internal/nocerr"
 	"github.com/nocdr/nocdr/internal/regular"
+	"github.com/nocdr/nocdr/internal/route"
 	"github.com/nocdr/nocdr/internal/traffic"
 )
 
@@ -56,6 +57,23 @@ type Grid struct {
 	// Seeds instantiate random benchmark specs; named benchmarks are
 	// deterministic, so for them every seed reproduces the same design.
 	Seeds []int64 `json:"seeds"`
+	// Routings is the routing-function axis for regular-topology presets:
+	// "dor" (default), the turn models "west-first", "north-last",
+	// "negative-first", "odd-even", or "min-adaptive". Synthesized
+	// benchmarks always use load-aware shortest paths and do not cross
+	// with this axis. Empty means dor only, and keeps reports in the
+	// pre-routing JSON shape.
+	Routings []string `json:"routings,omitempty"`
+	// Faults masks this many links per regular-topology preset cell,
+	// selected deterministically from the cell's seed such that the
+	// surviving network stays connected; routes regenerate around the
+	// faults. Synthesized benchmarks ignore it. Deterministic DOR cannot
+	// route around faults, so a dor cell errors whenever a fault lands
+	// on one of its XY paths — pair faults with an adaptive routing.
+	Faults int `json:"faults,omitempty"`
+	// MaxPaths caps candidate paths per flow for adaptive routings
+	// (0 = route.MaxDefaultPaths).
+	MaxPaths int `json:"max_paths,omitempty"`
 }
 
 // DefaultSwitchCounts is the default sweep axis: the Figure 10 design
@@ -79,21 +97,32 @@ func (g Grid) normalized() Grid {
 }
 
 // Jobs enumerates the grid's cross product in deterministic order:
-// benchmark-major, then switch count, policy, seed. Regular-topology
-// presets pin their own switch count, so they cross only with policies
-// and seeds.
+// benchmark-major, then switch count, routing, policy, seed.
+// Regular-topology presets pin their own switch count, so they cross
+// only with routings, policies and seeds; synthesized benchmarks do not
+// cross with the routing axis (their routing is always shortest-path).
 func (g Grid) Jobs() []Job {
 	g = g.normalized()
-	out := make([]Job, 0, len(g.Benchmarks)*len(g.SwitchCounts)*len(g.Policies)*len(g.Seeds))
+	routings := g.Routings
+	if len(routings) == 0 {
+		routings = []string{""}
+	}
+	out := make([]Job, 0, len(g.Benchmarks)*len(g.SwitchCounts)*len(routings)*len(g.Policies)*len(g.Seeds))
 	for _, b := range g.Benchmarks {
 		counts := g.SwitchCounts
+		rts := []string{""}
+		faults := 0
 		if p, ok := parsePreset(b); ok {
 			counts = []int{p.cols * p.rows}
+			rts = routings
+			faults = g.Faults
 		}
 		for _, s := range counts {
-			for _, p := range g.Policies {
-				for _, seed := range g.Seeds {
-					out = append(out, Job{Benchmark: b, SwitchCount: s, Policy: p, Seed: seed})
+			for _, rt := range rts {
+				for _, p := range g.Policies {
+					for _, seed := range g.Seeds {
+						out = append(out, Job{Benchmark: b, SwitchCount: s, Routing: rt, Faults: faults, Policy: p, Seed: seed})
+					}
 				}
 			}
 		}
@@ -121,6 +150,17 @@ func (g Grid) Validate() error {
 			return err
 		}
 	}
+	for _, r := range n.Routings {
+		if _, err := route.ParseTurnModel(r); err != nil {
+			return err
+		}
+	}
+	if n.Faults < 0 {
+		return fmt.Errorf("runner: negative fault count %d", n.Faults)
+	}
+	if n.MaxPaths < 0 {
+		return fmt.Errorf("runner: negative max-paths %d", n.MaxPaths)
+	}
 	if len(n.SwitchCounts) == 0 {
 		return fmt.Errorf("runner: empty switch-count axis")
 	}
@@ -136,8 +176,13 @@ func (g Grid) Validate() error {
 type Job struct {
 	Benchmark   string `json:"benchmark"`
 	SwitchCount int    `json:"switch_count"`
-	Policy      string `json:"policy"`
-	Seed        int64  `json:"seed"`
+	// Routing is the preset's routing function ("" = dor for presets,
+	// shortest-path for synthesized benchmarks).
+	Routing string `json:"routing,omitempty"`
+	// Faults is the number of seeded link faults masked for this cell.
+	Faults int    `json:"faults,omitempty"`
+	Policy string `json:"policy"`
+	Seed   int64  `json:"seed"`
 }
 
 // Result is one evaluated job. Wall-clock timings are carried for
@@ -162,6 +207,9 @@ type Result struct {
 	RemovalVCs     int  `json:"removal_vcs"`
 	OrderingVCs    int  `json:"ordering_vcs"`
 	Breaks         int  `json:"breaks"`
+	// Paths is the total candidate-path count of an adaptive cell's route
+	// set (0 for single-path cells, where it adds no information).
+	Paths int `json:"paths,omitempty"`
 
 	// Sim is the flit-level verification outcome (only with
 	// Options.Simulate).
@@ -220,6 +268,9 @@ type Options struct {
 	// Calls are serialized under the same mutex as Progress, but may be
 	// issued from any worker goroutine.
 	OnResult func(index, total int, res Result)
+
+	// maxPaths carries Grid.MaxPaths to the per-job evaluation.
+	maxPaths int
 }
 
 // Run executes every job of the grid and returns the aggregated report.
@@ -240,6 +291,7 @@ func RunContext(ctx context.Context, grid Grid, opts Options) (*Report, error) {
 		return nil, err
 	}
 	grid = grid.normalized()
+	opts.maxPaths = grid.MaxPaths
 	jobs := grid.Jobs()
 	results := make([]Result, len(jobs))
 	scheduled := make([]bool, len(jobs))
@@ -322,6 +374,7 @@ func runJob(ctx context.Context, job Job, opts Options) Result {
 		FullRebuild: opts.FullRebuild,
 		Simulate:    opts.Simulate,
 		Sim:         opts.Sim,
+		MaxPaths:    opts.maxPaths,
 	}
 	// Derive the simulation seed from the job seed so the seeds axis
 	// varies the injection process even on deterministic benchmarks.
@@ -335,7 +388,31 @@ func runJob(ctx context.Context, job Job, opts Options) Result {
 			return res
 		}
 		res.Cores = g.NumCores()
-		p, err = EvaluateRegularContext(ctx, grid, g, evalOpts)
+		model, err := route.ParseTurnModel(job.Routing)
+		if err != nil {
+			res.Error = err.Error()
+			return res
+		}
+		if job.Faults > 0 {
+			// Seeded per-cell fault scenario: mask links, keep the network
+			// connected, and let the routing regenerate around them.
+			ids, err := regular.SelectFaults(grid, job.Faults, job.Seed)
+			if err != nil {
+				res.Error = err.Error()
+				return res
+			}
+			if err := grid.Topology.Fault(ids...); err != nil {
+				res.Error = err.Error()
+				return res
+			}
+		}
+		if model == route.DOR && job.Faults == 0 {
+			// The classic single-path pipeline, byte-identical to
+			// pre-routing-axis sweeps.
+			p, err = EvaluateRegularContext(ctx, grid, g, evalOpts)
+		} else {
+			p, err = EvaluateAdaptiveContext(ctx, grid, g, model, evalOpts)
+		}
 		if err != nil {
 			return res.fail(err)
 		}
@@ -361,6 +438,7 @@ func runJob(ctx context.Context, job Job, opts Options) Result {
 	res.RemovalVCs = p.RemovalVCs
 	res.OrderingVCs = p.OrderingVCs
 	res.Breaks = p.Breaks
+	res.Paths = p.Paths
 	res.Sim = p.Sim
 	res.RemovalTime = p.RemovalTime
 	return res
@@ -380,6 +458,12 @@ func (r Result) fail(err error) Result {
 
 func (r Result) oneLine() string {
 	id := fmt.Sprintf("%s@%d/%s/seed%d", r.Benchmark, r.SwitchCount, r.Policy, r.Seed)
+	if r.Routing != "" {
+		id += "/" + r.Routing
+	}
+	if r.Faults > 0 {
+		id += fmt.Sprintf("/f%d", r.Faults)
+	}
 	switch {
 	case r.Error != "":
 		return id + " ERROR " + r.Error
@@ -431,7 +515,7 @@ var (
 	randSpec    = regexp.MustCompile(`^rand:(\d+)x(\d+)$`)
 	patternSpec = regexp.MustCompile(`^(transpose|bitrev):(\d+)$`)
 	hotspotSpec = regexp.MustCompile(`^hotspot:(\d+)(?:x(\d+))?$`)
-	presetSpec  = regexp.MustCompile(`^(mesh|torus):(\d+)x(\d+):(transpose|bitrev|hotspot|uniform)$`)
+	presetSpec  = regexp.MustCompile(`^(mesh|torus):(\d+)(?:x(\d+))?(?::(transpose|bitrev|hotspot|uniform))?$`)
 )
 
 // resolveBenchmark turns a synthesized benchmark spec into a traffic
@@ -474,15 +558,24 @@ type preset struct {
 	pattern string
 }
 
-// parsePreset recognizes mesh:/torus: specs.
+// parsePreset recognizes mesh:/torus: specs. "mesh:<n>" is shorthand for
+// the square uniform grid "mesh:<n>x<n>:uniform"; an omitted pattern
+// defaults to uniform.
 func parsePreset(spec string) (preset, bool) {
 	m := presetSpec.FindStringSubmatch(spec)
 	if m == nil {
 		return preset{}, false
 	}
 	cols, _ := strconv.Atoi(m[2])
-	rows, _ := strconv.Atoi(m[3])
-	return preset{wrap: m[1] == "torus", cols: cols, rows: rows, pattern: m[4]}, true
+	rows := cols
+	if m[3] != "" {
+		rows, _ = strconv.Atoi(m[3])
+	}
+	pattern := m[4]
+	if pattern == "" {
+		pattern = "uniform"
+	}
+	return preset{wrap: m[1] == "torus", cols: cols, rows: rows, pattern: pattern}, true
 }
 
 // build materializes the preset's grid topology and traffic pattern.

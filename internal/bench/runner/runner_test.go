@@ -394,3 +394,92 @@ func TestRunContextCompleteRunNotCanceled(t *testing.T) {
 		}
 	}
 }
+
+// TestAdaptiveFaultedSweepVerifies drives the routing and fault axes end
+// to end: turn-model and fully-adaptive cells on a faulted mesh preset,
+// with the flit-level verification stage. The paper's claim under test:
+// whatever route set the scenario produces, removal leaves a design with
+// zero simulated deadlocks.
+func TestAdaptiveFaultedSweepVerifies(t *testing.T) {
+	grid := Grid{
+		Benchmarks: []string{"D26_media", "mesh:4"},
+		Routings:   []string{"odd-even", "min-adaptive"},
+		Faults:     2,
+		MaxPaths:   4,
+		Seeds:      []int64{0, 1},
+	}
+	jobs := grid.Jobs()
+	// D26 (synthesized: no routing axis): switch counts × 2 seeds; the
+	// mesh preset crosses with both routings × 2 seeds.
+	for _, j := range jobs {
+		if j.Benchmark == "D26_media" && (j.Routing != "" || j.Faults != 0) {
+			t.Fatalf("synthesized benchmark crossed with the routing axis: %+v", j)
+		}
+		if j.Benchmark == "mesh:4" && (j.Routing == "" || j.Faults != 2) {
+			t.Fatalf("preset job missing routing/faults: %+v", j)
+		}
+	}
+
+	rep, err := Run(grid, Options{Parallel: runtime.NumCPU(), Simulate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive := 0
+	for _, r := range rep.Results {
+		if r.Error != "" {
+			t.Fatalf("job %+v failed: %s", r.Job, r.Error)
+		}
+		if r.Skipped || r.Routing == "" {
+			continue
+		}
+		adaptive++
+		if r.Paths == 0 {
+			t.Errorf("job %+v: adaptive cell reports no candidate paths", r.Job)
+		}
+		if r.Sim == nil {
+			t.Fatalf("job %+v: Simulate set but no sim result", r.Job)
+		}
+		if r.Sim.PostDeadlock {
+			t.Errorf("job %+v: deadlock AFTER removal on an adaptive faulted cell", r.Job)
+		}
+		if r.Sim.PostDelivered == 0 {
+			t.Errorf("job %+v: post-removal simulation delivered nothing", r.Job)
+		}
+		if !r.InitialAcyclic && !r.Sim.PreRan {
+			t.Errorf("job %+v: cyclic union CDG skipped its negative control", r.Job)
+		}
+		if r.Routing == "odd-even" && r.Faults == 0 {
+			t.Errorf("job %+v: fault axis lost", r.Job)
+		}
+	}
+	if adaptive != 4 {
+		t.Fatalf("%d adaptive cells ran, want 4", adaptive)
+	}
+
+	// The whole report must survive a JSON round trip with the new axes
+	// intact.
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"routing": "odd-even"`) &&
+		!strings.Contains(buf.String(), `"routing":"odd-even"`) {
+		t.Error("routing axis missing from the JSON report")
+	}
+}
+
+// TestGridValidateRoutingAxis pins validation of the new grid fields.
+func TestGridValidateRoutingAxis(t *testing.T) {
+	if err := (Grid{Benchmarks: []string{"mesh:4"}, Routings: []string{"zig-zag"}}).Validate(); err == nil {
+		t.Error("unknown routing accepted")
+	}
+	if err := (Grid{Benchmarks: []string{"mesh:4"}, Faults: -1}).Validate(); err == nil {
+		t.Error("negative fault count accepted")
+	}
+	if err := (Grid{Benchmarks: []string{"mesh:4"}, MaxPaths: -2}).Validate(); err == nil {
+		t.Error("negative max-paths accepted")
+	}
+	if err := (Grid{Benchmarks: []string{"mesh:4"}, Routings: []string{"west-first", "min-adaptive"}, Faults: 2}).Validate(); err != nil {
+		t.Errorf("valid adaptive grid rejected: %v", err)
+	}
+}

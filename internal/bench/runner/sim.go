@@ -24,6 +24,9 @@ type SimParams struct {
 	BufferDepth int
 	// Seed drives the injection process.
 	Seed int64
+	// Adaptive is the per-hop output-selection policy for adaptive
+	// cells (first-free or least-congested); single-path cells ignore it.
+	Adaptive wormhole.AdaptiveSelection
 }
 
 func (p SimParams) withDefaults() SimParams {
@@ -95,6 +98,24 @@ func witnessWorkload(g *traffic.Graph, top *topology.Topology, tab *route.Table)
 	if err != nil {
 		return nil, 0, err
 	}
+	return witnessFromCDG(g, c, nil)
+}
+
+// witnessWorkloadSet is witnessWorkload over a route set: the smallest
+// cycle is found in the union CDG, and the pseudo-flows inducing its
+// edges are mapped back to the real flows that own the candidate paths.
+func witnessWorkloadSet(g *traffic.Graph, top *topology.Topology, set *route.RouteSet) (*traffic.Graph, int, error) {
+	c, refs, err := cdg.BuildSet(top, set)
+	if err != nil {
+		return nil, 0, err
+	}
+	return witnessFromCDG(g, c, refs)
+}
+
+// witnessFromCDG builds the witness graph given the (possibly flattened)
+// CDG; refs maps pseudo-flow attributions back to real flows (nil for an
+// unflattened CDG).
+func witnessFromCDG(g *traffic.Graph, c *cdg.CDG, refs []route.PathRef) (*traffic.Graph, int, error) {
 	cyc := c.SmallestCycle()
 	if len(cyc) == 0 {
 		return nil, 0, nil
@@ -102,6 +123,9 @@ func witnessWorkload(g *traffic.Graph, top *topology.Topology, tab *route.Table)
 	hot := map[int]bool{}
 	for i := range cyc {
 		for _, f := range c.FlowsOn(cyc[i], cyc[(i+1)%len(cyc)]) {
+			if refs != nil {
+				f = refs[f].FlowID
+			}
 			hot[f] = true
 		}
 	}
@@ -148,6 +172,50 @@ func SimEvalContext(ctx context.Context, g *traffic.Graph,
 	postTop *topology.Topology, postTab *route.Table,
 	params SimParams) (*SimResult, error) {
 
+	return simEval(ctx, g, initialAcyclic, params,
+		func(w *traffic.Graph) (*traffic.Graph, int, error) { return witnessWorkload(w, preTop, preTab) },
+		func(w *traffic.Graph, cfg wormhole.Config) (*wormhole.Simulator, error) {
+			return wormhole.New(preTop, w, preTab, cfg)
+		},
+		func(w *traffic.Graph, cfg wormhole.Config) (*wormhole.Simulator, error) {
+			return wormhole.New(postTop, w, postTab, cfg)
+		})
+}
+
+// SimEvalSet is SimEval for adaptive route sets: the witness workload is
+// derived from the union CDG, and both designs simulate under the
+// adaptive engine with params.Adaptive output selection.
+func SimEvalSet(g *traffic.Graph,
+	preTop *topology.Topology, preSet *route.RouteSet, initialAcyclic bool,
+	postTop *topology.Topology, postSet *route.RouteSet,
+	params SimParams) (*SimResult, error) {
+	return SimEvalSetContext(context.Background(), g, preTop, preSet, initialAcyclic, postTop, postSet, params)
+}
+
+// SimEvalSetContext is SimEvalSet with cooperative cancellation.
+func SimEvalSetContext(ctx context.Context, g *traffic.Graph,
+	preTop *topology.Topology, preSet *route.RouteSet, initialAcyclic bool,
+	postTop *topology.Topology, postSet *route.RouteSet,
+	params SimParams) (*SimResult, error) {
+
+	return simEval(ctx, g, initialAcyclic, params,
+		func(w *traffic.Graph) (*traffic.Graph, int, error) { return witnessWorkloadSet(w, preTop, preSet) },
+		func(w *traffic.Graph, cfg wormhole.Config) (*wormhole.Simulator, error) {
+			return wormhole.NewAdaptive(preTop, w, preSet, cfg)
+		},
+		func(w *traffic.Graph, cfg wormhole.Config) (*wormhole.Simulator, error) {
+			return wormhole.NewAdaptive(postTop, w, postSet, cfg)
+		})
+}
+
+// simEval is the verification-stage harness shared by the single-path
+// and adaptive evaluations: negative control on the pre-removal design
+// under the constructed witness (when the CDG was cyclic), the identical
+// witness on the post-removal design, then the plain measurement run.
+func simEval(ctx context.Context, g *traffic.Graph, initialAcyclic bool, params SimParams,
+	witness func(*traffic.Graph) (*traffic.Graph, int, error),
+	preSim, postSim func(*traffic.Graph, wormhole.Config) (*wormhole.Simulator, error)) (*SimResult, error) {
+
 	params = params.withDefaults()
 	res := &SimResult{}
 	cfg := wormhole.Config{
@@ -155,14 +223,15 @@ func SimEvalContext(ctx context.Context, g *traffic.Graph,
 		LoadFactor:  params.Load,
 		BufferDepth: params.BufferDepth,
 		Seed:        params.Seed,
+		Adaptive:    params.Adaptive,
 	}
 
 	if !initialAcyclic {
-		witness, nflows, err := witnessWorkload(g, preTop, preTab)
+		w, nflows, err := witness(g)
 		if err != nil {
 			return nil, fmt.Errorf("runner: witness workload: %w", err)
 		}
-		if witness != nil {
+		if w != nil {
 			res.PreRan = true
 			res.WitnessFlows = nflows
 			// The witness's point is to saturate the cycle-inducing
@@ -170,7 +239,7 @@ func SimEvalContext(ctx context.Context, g *traffic.Graph,
 			// negative control, so the witness runs always pin load 1.
 			witnessCfg := cfg
 			witnessCfg.LoadFactor = 1.0
-			pre, err := wormhole.New(preTop, witness, preTab, witnessCfg)
+			pre, err := preSim(w, witnessCfg)
 			if err != nil {
 				return nil, fmt.Errorf("runner: pre-removal sim: %w", err)
 			}
@@ -184,7 +253,7 @@ func SimEvalContext(ctx context.Context, g *traffic.Graph,
 			// The removed design must survive the same adversarial
 			// workload that just deadlocked (or at least stressed) the
 			// original.
-			postW, err := wormhole.New(postTop, witness, postTab, witnessCfg)
+			postW, err := postSim(w, witnessCfg)
 			if err != nil {
 				return nil, fmt.Errorf("runner: post-removal witness sim: %w", err)
 			}
@@ -200,7 +269,7 @@ func SimEvalContext(ctx context.Context, g *traffic.Graph,
 
 	postCfg := cfg
 	postCfg.CollectLatencies = true
-	post, err := wormhole.New(postTop, g, postTab, postCfg)
+	post, err := postSim(g, postCfg)
 	if err != nil {
 		return nil, fmt.Errorf("runner: post-removal sim: %w", err)
 	}

@@ -13,16 +13,28 @@ import (
 func WriteTable(w io.Writer, rep *Report) error {
 	title := fmt.Sprintf("Sweep: %d benchmarks × %d switch counts × %d policies × %d seeds",
 		len(rep.Grid.Benchmarks), len(rep.Grid.SwitchCounts), len(rep.Grid.Policies), len(rep.Grid.Seeds))
+	if len(rep.Grid.Routings) > 0 {
+		title += fmt.Sprintf(" × %d routings", len(rep.Grid.Routings))
+	}
+	if rep.Grid.Faults > 0 {
+		title += fmt.Sprintf(", %d link faults per cell", rep.Grid.Faults)
+	}
 	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
-	simulated := false
+	simulated, routed := false, false
 	for _, r := range rep.Results {
 		if r.Sim != nil {
 			simulated = true
-			break
+		}
+		if r.Routing != "" || r.Faults > 0 {
+			routed = true
 		}
 	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	header := "benchmark\tswitches\tpolicy\tseed\tlinks\tremoval VCs\tordering VCs\tbreaks\truntime\tstatus"
+	header := "benchmark\tswitches\tpolicy\tseed"
+	if routed {
+		header += "\trouting\tfaults"
+	}
+	header += "\tlinks\tremoval VCs\tordering VCs\tbreaks\truntime\tstatus"
 	if simulated {
 		header += "\tsim"
 	}
@@ -44,9 +56,17 @@ func WriteTable(w io.Writer, rep *Report) error {
 			status = "already acyclic"
 		}
 		total += r.RemovalTime
-		fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%d\t%d\t%d\t%d\t%s\t%s",
-			r.Benchmark, r.SwitchCount, r.Policy, r.Seed, r.Links,
-			r.RemovalVCs, r.OrderingVCs, r.Breaks,
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%d",
+			r.Benchmark, r.SwitchCount, r.Policy, r.Seed)
+		if routed {
+			routing := r.Routing
+			if routing == "" {
+				routing = "-"
+			}
+			fmt.Fprintf(tw, "\t%s\t%d", routing, r.Faults)
+		}
+		fmt.Fprintf(tw, "\t%d\t%d\t%d\t%d\t%s\t%s",
+			r.Links, r.RemovalVCs, r.OrderingVCs, r.Breaks,
 			r.RemovalTime.Round(10*time.Microsecond), status)
 		if simulated {
 			sim := "-"

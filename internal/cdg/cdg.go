@@ -90,6 +90,22 @@ func Build(top *topology.Topology, table *route.Table) (*CDG, error) {
 	return c, nil
 }
 
+// BuildSet constructs the CDG over the *union* of a route set's permitted
+// channel transitions: the set is flattened into pseudo-flows (one per
+// candidate path, see route.RouteSet.Flatten) and Build runs on the
+// result unchanged. Edge attributions (FlowsOn, Dependencies) therefore
+// name pseudo-flow IDs; the returned refs map them back to (flow, path).
+// For a single-path set the pseudo-flow IDs equal the real flow IDs and
+// the graph is identical to Build on the equivalent table.
+func BuildSet(top *topology.Topology, set *route.RouteSet) (*CDG, []route.PathRef, error) {
+	tab, refs := set.Flatten()
+	c, err := Build(top, tab)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, refs, nil
+}
+
 // NumChannels returns the number of CDG vertices.
 func (c *CDG) NumChannels() int { return len(c.channels) }
 

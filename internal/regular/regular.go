@@ -154,6 +154,9 @@ func DORRoutes(g *Grid, tg *traffic.Graph) (*route.Table, error) {
 			if !ok {
 				return nil, fmt.Errorf("regular: missing X link (%d,%d)→(%d,%d)", cx, cy, next, cy)
 			}
+			if g.Topology.Faulted(id) {
+				return nil, fmt.Errorf("regular: DOR route for flow %d crosses faulted link %d (deterministic DOR cannot route around faults; use an adaptive routing)", f.ID, id)
+			}
 			channels = append(channels, topology.Chan(id, 0))
 			cx = next
 		}
@@ -164,6 +167,9 @@ func DORRoutes(g *Grid, tg *traffic.Graph) (*route.Table, error) {
 			id, ok := g.Topology.FindLink(g.SwitchAt(cx, cy), g.SwitchAt(cx, next))
 			if !ok {
 				return nil, fmt.Errorf("regular: missing Y link (%d,%d)→(%d,%d)", cx, cy, cx, next)
+			}
+			if g.Topology.Faulted(id) {
+				return nil, fmt.Errorf("regular: DOR route for flow %d crosses faulted link %d (deterministic DOR cannot route around faults; use an adaptive routing)", f.ID, id)
 			}
 			channels = append(channels, topology.Chan(id, 0))
 			cy = next

@@ -180,6 +180,9 @@ func (t *Table) Validate(top *topology.Topology, g *traffic.Graph) error {
 			if !top.ValidChannel(c) {
 				return fmt.Errorf("route: flow %d hop %d uses invalid channel %v: %w", f.ID, i, c, nocerr.ErrInvalidInput)
 			}
+			if top.FaultedChannel(c) {
+				return fmt.Errorf("route: flow %d hop %d crosses faulted link %d: %w", f.ID, i, c.Link, nocerr.ErrInvalidInput)
+			}
 			l := top.Link(c.Link)
 			if l.From != cur {
 				return fmt.Errorf("route: flow %d hop %d starts at switch %d, expected %d: %w", f.ID, i, l.From, cur, nocerr.ErrInvalidInput)

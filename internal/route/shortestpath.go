@@ -86,12 +86,16 @@ func ShortestPathsWeighted(top *topology.Topology, g *traffic.Graph, base map[to
 }
 
 // switchGraph projects the topology onto the generic digraph kernel.
+// Faulted links are omitted, so every path search routes around them.
 func switchGraph(top *topology.Topology) *graph.Digraph {
 	sg := graph.New(top.NumSwitches())
 	if n := top.NumSwitches(); n > 0 {
 		sg.Ensure(n - 1)
 	}
 	for _, l := range top.Links() {
+		if top.Faulted(l.ID) {
+			continue
+		}
 		sg.AddEdge(int(l.From), int(l.To))
 	}
 	return sg

@@ -1,0 +1,405 @@
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/nocdr/nocdr/internal/nocerr"
+	"github.com/nocdr/nocdr/internal/topology"
+	"github.com/nocdr/nocdr/internal/traffic"
+)
+
+// TurnModel names a routing function for 2D grids. The four classic turn
+// models (Glass & Ni's west-first, north-last, negative-first and Chiu's
+// odd-even) restrict which 90° turns a packet may take so the channel
+// dependency graph over *all* permitted transitions is acyclic by
+// construction on a mesh — they are the standard deadlock-avoidance
+// comparison point the removal method competes with. MinimalAdaptive
+// permits every minimal turn and is deliberately deadlock-prone: it is
+// the "arbitrary route set" input the paper's removal method exists for.
+// DOR is the deterministic dimension-ordered baseline lifted into the
+// RouteSet representation.
+type TurnModel int
+
+const (
+	// DOR routes X fully, then Y — one deterministic path per flow.
+	DOR TurnModel = iota
+	// WestFirst takes all westward hops first: turns into west (N→W,
+	// S→W) are prohibited.
+	WestFirst
+	// NorthLast goes north only as the final leg: turns out of north
+	// (N→E, N→W) are prohibited.
+	NorthLast
+	// NegativeFirst takes negative-direction (west/south) hops first:
+	// positive-to-negative turns (N→W, E→S) are prohibited.
+	NegativeFirst
+	// OddEven applies Chiu's parity rules: E→N and E→S turns are
+	// prohibited in even columns, N→W and S→W turns in odd columns.
+	OddEven
+	// MinimalAdaptive permits every minimal turn (fully adaptive,
+	// minimal). Its union CDG is cyclic on any mesh large enough to turn
+	// in — the adversarial input for the removal algorithm.
+	MinimalAdaptive
+)
+
+var turnModelNames = map[TurnModel]string{
+	DOR:             "dor",
+	WestFirst:       "west-first",
+	NorthLast:       "north-last",
+	NegativeFirst:   "negative-first",
+	OddEven:         "odd-even",
+	MinimalAdaptive: "min-adaptive",
+}
+
+// String returns the canonical spelling used by CLI flags and reports.
+func (m TurnModel) String() string {
+	if s, ok := turnModelNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("TurnModel(%d)", int(m))
+}
+
+// TurnModelNames returns the canonical names in flag-help order.
+func TurnModelNames() []string {
+	return []string{"dor", "west-first", "north-last", "negative-first", "odd-even", "min-adaptive"}
+}
+
+// ParseTurnModel resolves a canonical name (as printed by String) to its
+// TurnModel; the empty string means DOR.
+func ParseTurnModel(s string) (TurnModel, error) {
+	switch s {
+	case "", "dor":
+		return DOR, nil
+	case "west-first":
+		return WestFirst, nil
+	case "north-last":
+		return NorthLast, nil
+	case "negative-first":
+		return NegativeFirst, nil
+	case "odd-even":
+		return OddEven, nil
+	case "min-adaptive", "minimal-adaptive":
+		return MinimalAdaptive, nil
+	}
+	return 0, fmt.Errorf("route: unknown turn model %q (valid: dor, west-first, north-last, negative-first, odd-even, min-adaptive): %w",
+		s, nocerr.ErrInvalidInput)
+}
+
+// dir is a grid hop direction.
+type dir int
+
+const (
+	dirNone dir = iota // injection: the packet has not moved yet
+	dirE               // +x
+	dirW               // -x
+	dirN               // +y
+	dirS               // -y
+)
+
+// permittedTurn reports whether the model allows a hop in direction `to`
+// after arriving in direction `from` at grid column x (odd-even's rules
+// depend on the turning node's column parity). 180° turns are always
+// prohibited; injections (from == dirNone) are always permitted.
+func (m TurnModel) permittedTurn(from, to dir, x int) bool {
+	if from == dirNone {
+		return true
+	}
+	if (from == dirE && to == dirW) || (from == dirW && to == dirE) ||
+		(from == dirN && to == dirS) || (from == dirS && to == dirN) {
+		return false
+	}
+	switch m {
+	case WestFirst:
+		return !((from == dirN || from == dirS) && to == dirW)
+	case NorthLast:
+		return !(from == dirN && (to == dirE || to == dirW))
+	case NegativeFirst:
+		return !((from == dirN && to == dirW) || (from == dirE && to == dirS))
+	case OddEven:
+		if x%2 == 0 { // even column: no turn out of east
+			return !(from == dirE && (to == dirN || to == dirS))
+		}
+		// odd column: no turn into west
+		return !((from == dirN || from == dirS) && to == dirW)
+	default: // DOR handled separately; MinimalAdaptive permits all 90° turns
+		return true
+	}
+}
+
+// GridSpec describes the 2D grid layout the turn-model generators route
+// on: switch (x, y) has ID y*Cols+x with one core per switch (the
+// internal/regular convention). Wrap marks a torus; turn models keep
+// their acyclicity guarantee only on the unwrapped mesh — on a torus the
+// wrap-around dependencies reintroduce cycles, which is exactly the kind
+// of configuration the removal algorithm repairs.
+type GridSpec struct {
+	Cols, Rows int
+	Wrap       bool
+}
+
+func (gs GridSpec) switchAt(x, y int) topology.SwitchID {
+	return topology.SwitchID(y*gs.Cols + x)
+}
+
+func (gs GridSpec) coord(sw topology.SwitchID) (int, int) {
+	return int(sw) % gs.Cols, int(sw) / gs.Cols
+}
+
+// dimDist is the hop distance along one dimension of size n, honoring
+// wrap-around only where the generated grid actually has wrap links
+// (wrapped and n > 2, matching internal/regular's constructors).
+func dimDist(a, b, n int, wrap bool) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if wrap && n > 2 && n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// dist is the minimal hop distance between two switches on the grid.
+func (gs GridSpec) dist(a, b topology.SwitchID) int {
+	ax, ay := gs.coord(a)
+	bx, by := gs.coord(b)
+	return dimDist(ax, bx, gs.Cols, gs.Wrap) + dimDist(ay, by, gs.Rows, gs.Wrap)
+}
+
+// hopDir classifies the grid direction of the link a→b. Wrap links move
+// in the direction of their wrap (0 → cols-1 is a west move).
+func (gs GridSpec) hopDir(a, b topology.SwitchID) dir {
+	ax, ay := gs.coord(a)
+	bx, by := gs.coord(b)
+	switch {
+	case ay == by && bx == ax+1:
+		return dirE
+	case ay == by && bx == ax-1:
+		return dirW
+	case ax == bx && by == ay+1:
+		return dirN
+	case ax == bx && by == ay-1:
+		return dirS
+	case ay == by && ax == 0 && bx == gs.Cols-1:
+		return dirW
+	case ay == by && ax == gs.Cols-1 && bx == 0:
+		return dirE
+	case ax == bx && ay == 0 && by == gs.Rows-1:
+		return dirS
+	default: // ax == bx && ay == gs.Rows-1 && by == 0
+		return dirN
+	}
+}
+
+// MaxDefaultPaths is the per-flow candidate-path cap GridRoutes applies
+// when the caller passes maxPaths <= 0. Minimal path counts explode
+// combinatorially with distance (C(14,7) = 3432 between opposite corners
+// of an 8×8 mesh); a small diverse set is what real path-set routers
+// provision, and it keeps the flattened pseudo-flow table — and with it
+// the CDG — small.
+const MaxDefaultPaths = 4
+
+// GridRoutes generates a RouteSet for every flow of g on the grid
+// topology top under the given turn model: up to maxPaths minimal paths
+// per flow, each respecting the model's turn prohibitions and avoiding
+// faulted links, enumerated in deterministic link-ID order. When faults
+// leave a flow of an adaptive model with no permitted minimal path, the
+// generator falls back to the deterministic shortest path over all
+// non-faulted links ignoring the turn restrictions — a fault-driven
+// escape route whose extra CDG dependencies the removal algorithm is
+// expected to repair. DOR takes no escape: a fault on a flow's XY path
+// is a hard error, per the documented deterministic-baseline contract.
+// A flow whose endpoints are disconnected even by the escape search is
+// an error.
+func GridRoutes(top *topology.Topology, g *traffic.Graph, gs GridSpec, model TurnModel, maxPaths int) (*RouteSet, error) {
+	if gs.Cols < 1 || gs.Rows < 1 || gs.Cols*gs.Rows != top.NumSwitches() {
+		return nil, fmt.Errorf("route: grid %dx%d does not match topology with %d switches: %w",
+			gs.Cols, gs.Rows, top.NumSwitches(), nocerr.ErrInvalidInput)
+	}
+	if maxPaths <= 0 {
+		maxPaths = MaxDefaultPaths
+	}
+	adj := sortedAdjacency(top)
+	set := NewRouteSet(g.NumFlows())
+	for _, f := range g.Flows() {
+		src, ok := top.SwitchOf(int(f.Src))
+		if !ok {
+			return nil, fmt.Errorf("route: core %d (flow %d) not attached: %w", f.Src, f.ID, nocerr.ErrInvalidInput)
+		}
+		dst, ok := top.SwitchOf(int(f.Dst))
+		if !ok {
+			return nil, fmt.Errorf("route: core %d (flow %d) not attached: %w", f.Dst, f.ID, nocerr.ErrInvalidInput)
+		}
+		if src == dst {
+			set.Add(f.ID, nil)
+			continue
+		}
+		var paths [][]topology.Channel
+		if model == DOR {
+			// No escape for DOR: the documented contract is that the
+			// deterministic baseline cannot route around a fault, so a
+			// fault on an XY path is a hard error, not a silent detour.
+			p, err := dorPath(top, gs, src, dst)
+			if err != nil {
+				return nil, fmt.Errorf("route: flow %d (%d→%d) unroutable under %s: %w", f.ID, src, dst, model, err)
+			}
+			paths = [][]topology.Channel{p}
+		} else {
+			paths = enumerateMinimal(top, gs, adj, model, src, dst, maxPaths)
+		}
+		if len(paths) == 0 {
+			// Fault escape: deterministic shortest path over every working
+			// link, turn restrictions waived.
+			p, err := bfsPath(top, adj, src, dst)
+			if err != nil {
+				return nil, fmt.Errorf("route: flow %d (%d→%d) unroutable under %s: %w", f.ID, src, dst, model, err)
+			}
+			paths = [][]topology.Channel{p}
+		}
+		for _, p := range paths {
+			set.Add(f.ID, p)
+		}
+	}
+	return set, nil
+}
+
+// dorPath walks X then Y, taking the minimal direction per dimension
+// (ties positive, matching internal/regular.DORRoutes), and fails if any
+// hop's link is missing or faulted — deterministic DOR cannot route
+// around a fault.
+func dorPath(top *topology.Topology, gs GridSpec, src, dst topology.SwitchID) ([]topology.Channel, error) {
+	var channels []topology.Channel
+	cx, cy := gs.coord(src)
+	dx, dy := gs.coord(dst)
+	step := func(cur, target, n int) int {
+		if !gs.Wrap || n <= 2 {
+			if target > cur {
+				return 1
+			}
+			return -1
+		}
+		fwd := ((target - cur) + n) % n
+		if fwd <= n-fwd {
+			return 1
+		}
+		return -1
+	}
+	hop := func(a, b topology.SwitchID) error {
+		id, ok := top.FindLink(a, b)
+		if !ok {
+			return fmt.Errorf("route: missing link %d→%d: %w", a, b, nocerr.ErrInvalidInput)
+		}
+		if top.Faulted(id) {
+			return fmt.Errorf("route: DOR path crosses faulted link %d: %w", id, nocerr.ErrInvalidInput)
+		}
+		channels = append(channels, topology.Chan(id, 0))
+		return nil
+	}
+	for cx != dx {
+		next := (cx + step(cx, dx, gs.Cols) + gs.Cols) % gs.Cols
+		if err := hop(gs.switchAt(cx, cy), gs.switchAt(next, cy)); err != nil {
+			return nil, err
+		}
+		cx = next
+	}
+	for cy != dy {
+		next := (cy + step(cy, dy, gs.Rows) + gs.Rows) % gs.Rows
+		if err := hop(gs.switchAt(cx, cy), gs.switchAt(cx, next)); err != nil {
+			return nil, err
+		}
+		cy = next
+	}
+	return channels, nil
+}
+
+// sortedAdjacency returns each switch's working (non-faulted) out-links
+// in ascending link-ID order, built once per GridRoutes call so the
+// per-flow path searches do not re-copy and re-sort the same link lists
+// on every node visit.
+func sortedAdjacency(top *topology.Topology) [][]topology.LinkID {
+	adj := make([][]topology.LinkID, top.NumSwitches())
+	for sw := range adj {
+		links := top.OutLinks(topology.SwitchID(sw))
+		sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+		working := links[:0]
+		for _, id := range links {
+			if !top.Faulted(id) {
+				working = append(working, id)
+			}
+		}
+		adj[sw] = working
+	}
+	return adj
+}
+
+// enumerateMinimal DFS-enumerates up to maxPaths minimal paths src→dst
+// whose every turn the model permits and whose every link is working.
+// Every hop strictly decreases the distance to dst, so the search space
+// is a DAG and terminates; candidate hops are explored in ascending
+// link-ID order (adj), making the enumeration (and its truncation) a
+// pure function of the inputs.
+func enumerateMinimal(top *topology.Topology, gs GridSpec, adj [][]topology.LinkID, model TurnModel, src, dst topology.SwitchID, maxPaths int) [][]topology.Channel {
+	var out [][]topology.Channel
+	var walk func(cur topology.SwitchID, came dir, prefix []topology.Channel)
+	walk = func(cur topology.SwitchID, came dir, prefix []topology.Channel) {
+		if len(out) >= maxPaths {
+			return
+		}
+		if cur == dst {
+			out = append(out, append([]topology.Channel(nil), prefix...))
+			return
+		}
+		d := gs.dist(cur, dst)
+		for _, id := range adj[cur] {
+			next := top.Link(id).To
+			if gs.dist(next, dst) != d-1 {
+				continue
+			}
+			to := gs.hopDir(cur, next)
+			if model != MinimalAdaptive && !model.permittedTurn(came, to, int(cur)%gs.Cols) {
+				continue
+			}
+			walk(next, to, append(prefix, topology.Chan(id, 0)))
+		}
+	}
+	walk(src, dirNone, nil)
+	return out
+}
+
+// bfsPath is the deterministic fewest-hops path over non-faulted links,
+// exploring neighbors in ascending link-ID order (adj).
+func bfsPath(top *topology.Topology, adj [][]topology.LinkID, src, dst topology.SwitchID) ([]topology.Channel, error) {
+	type hop struct {
+		prev topology.SwitchID
+		link topology.LinkID
+	}
+	parent := make(map[topology.SwitchID]hop)
+	parent[src] = hop{prev: src}
+	queue := []topology.SwitchID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == dst {
+			break
+		}
+		for _, id := range adj[cur] {
+			next := top.Link(id).To
+			if _, seen := parent[next]; seen {
+				continue
+			}
+			parent[next] = hop{prev: cur, link: id}
+			queue = append(queue, next)
+		}
+	}
+	if _, ok := parent[dst]; !ok {
+		return nil, fmt.Errorf("route: no working path %d→%d: %w", src, dst, nocerr.ErrInvalidInput)
+	}
+	var rev []topology.Channel
+	for cur := dst; cur != src; cur = parent[cur].prev {
+		rev = append(rev, topology.Chan(parent[cur].link, 0))
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}

@@ -466,3 +466,56 @@ func TestQueueOverflow(t *testing.T) {
 		t.Fatalf("expected queue-full error, got %v", err)
 	}
 }
+
+// TestSweepJobAdaptiveRouting pins that /v1/sweep accepts the routing
+// and fault axes: a faulted odd-even mesh cell with the simulation stage
+// must come back verified (zero post-removal deadlocks) with the routing
+// echoed in the report.
+func TestSweepJobAdaptiveRouting(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+
+	var sub struct {
+		ID string `json:"id"`
+	}
+	code := postJSON(t, ts.URL+"/v1/sweep", map[string]any{
+		"grid": map[string]any{
+			"benchmarks": []string{"mesh:4"},
+			"routings":   []string{"odd-even", "min-adaptive"},
+			"faults":     2,
+			"max_paths":  4,
+		},
+		"simulate": true,
+	}, &sub)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit adaptive sweep: status %d", code)
+	}
+	st := waitTerminal(t, ts.URL, sub.ID)
+	if st.State != StateDone {
+		t.Fatalf("sweep state %s error %q", st.State, st.Error)
+	}
+	data, _ := json.Marshal(st.Result)
+	var rep nocdr.SweepReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("sweep results %d, want 2", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.Error != "" {
+			t.Fatalf("cell %+v failed: %s", r.Job, r.Error)
+		}
+		if r.Routing == "" || r.Faults != 2 {
+			t.Errorf("cell lost its routing/fault axes: %+v", r.Job)
+		}
+		if r.Sim == nil || r.Sim.PostDeadlock {
+			t.Errorf("cell %+v: missing or failed verification stage", r.Job)
+		}
+	}
+	// An unknown routing must be rejected at submission time.
+	if code := postJSON(t, ts.URL+"/v1/sweep", map[string]any{
+		"grid": map[string]any{"benchmarks": []string{"mesh:4"}, "routings": []string{"zig-zag"}},
+	}, nil); code != http.StatusBadRequest {
+		t.Errorf("unknown routing accepted with status %d", code)
+	}
+}

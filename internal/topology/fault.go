@@ -1,0 +1,52 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Link-fault masking. A faulted link stays in the topology — its ID, its
+// endpoints and its provisioned VCs are unchanged, so channel indices and
+// serialized files remain stable — but it is administratively down:
+// routing generators must not place new routes over it and the removal
+// algorithm refuses to provision additional VCs on it. Masking rather
+// than deleting is what lets "fault, regenerate routes, re-remove" run as
+// a pure re-routing step, the dynamic-reconfiguration setting the paper's
+// removal method is pitched for.
+
+// Fault marks the given links as failed. Faulting an already-faulted link
+// is a no-op; unknown link IDs are an error (and no links are faulted).
+func (t *Topology) Fault(ids ...LinkID) error {
+	for _, id := range ids {
+		if !t.ValidLink(id) {
+			return fmt.Errorf("topology %q: fault on unknown link %d", t.Name, id)
+		}
+	}
+	if t.faulted == nil {
+		t.faulted = make(map[LinkID]bool, len(ids))
+	}
+	for _, id := range ids {
+		t.faulted[id] = true
+	}
+	return nil
+}
+
+// Faulted reports whether link id is masked as failed. Unknown IDs report
+// false.
+func (t *Topology) Faulted(id LinkID) bool { return t.faulted[id] }
+
+// FaultedChannel reports whether channel c sits on a faulted link.
+func (t *Topology) FaultedChannel(c Channel) bool { return t.faulted[c.Link] }
+
+// NumFaulted returns the number of faulted links.
+func (t *Topology) NumFaulted() int { return len(t.faulted) }
+
+// FaultedLinks returns the faulted link IDs in ascending order.
+func (t *Topology) FaultedLinks() []LinkID {
+	out := make([]LinkID, 0, len(t.faulted))
+	for id := range t.faulted {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

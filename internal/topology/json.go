@@ -16,6 +16,9 @@ type jsonTopology struct {
 	Switches []jsonSw   `json:"switches"`
 	Links    []jsonLink `json:"links"`
 	Cores    []jsonCore `json:"cores,omitempty"`
+	// Faults lists masked (failed) link IDs, ascending. Absent when the
+	// topology is fault-free, so pre-fault files round-trip unchanged.
+	Faults []int `json:"faults,omitempty"`
 }
 
 type jsonSw struct {
@@ -48,6 +51,9 @@ func (t *Topology) MarshalJSON() ([]byte, error) {
 	for _, c := range cores {
 		sw := t.coreAttach[c]
 		jt.Cores = append(jt.Cores, jsonCore{Core: c, Switch: int(sw)})
+	}
+	for _, id := range t.FaultedLinks() {
+		jt.Faults = append(jt.Faults, int(id))
 	}
 	return json.MarshalIndent(jt, "", "  ")
 }
@@ -89,6 +95,11 @@ func (t *Topology) UnmarshalJSON(data []byte) error {
 	for _, c := range jt.Cores {
 		if err := nt.AttachCore(c.Core, SwitchID(c.Switch)); err != nil {
 			return err
+		}
+	}
+	for _, id := range jt.Faults {
+		if err := nt.Fault(LinkID(id)); err != nil {
+			return fmt.Errorf("topology: %w: %w", nocerr.ErrInvalidInput, err)
 		}
 	}
 	*t = *nt

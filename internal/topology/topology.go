@@ -49,6 +49,10 @@ type Topology struct {
 	// coreAttach maps an application core ID (from the communication
 	// graph) to the switch its network interface connects to.
 	coreAttach map[int]SwitchID
+
+	// faulted masks administratively-down links (see fault.go). A nil map
+	// means no faults; lookups on nil are fine, so it is allocated lazily.
+	faulted map[LinkID]bool
 }
 
 // New returns an empty topology with the given name.
@@ -132,10 +136,14 @@ func (t *Topology) AddBidi(a, b SwitchID) (LinkID, LinkID, error) {
 }
 
 // AddVC provisions one more virtual channel on the given link and returns
-// the index of the new VC.
+// the index of the new VC. Faulted links cannot grow — a failed link has
+// no working wires to multiplex another VC onto.
 func (t *Topology) AddVC(id LinkID) (int, error) {
 	if !t.ValidLink(id) {
 		return 0, fmt.Errorf("topology: AddVC on unknown link %d", id)
+	}
+	if t.faulted[id] {
+		return 0, fmt.Errorf("topology: AddVC on faulted link %d", id)
 	}
 	t.links[id].VCs++
 	return t.links[id].VCs - 1, nil
@@ -289,6 +297,12 @@ func (t *Topology) Clone() *Topology {
 	}
 	for k, v := range t.coreAttach {
 		c.coreAttach[k] = v
+	}
+	if len(t.faulted) > 0 {
+		c.faulted = make(map[LinkID]bool, len(t.faulted))
+		for k, v := range t.faulted {
+			c.faulted[k] = v
+		}
 	}
 	return c
 }

@@ -31,6 +31,8 @@ package wormhole
 
 import (
 	"fmt"
+
+	"github.com/nocdr/nocdr/internal/nocerr"
 )
 
 // Config parameterizes a simulation. The zero value of every field except
@@ -86,8 +88,48 @@ type Config struct {
 	// exactly the same moves as the default dense/worklist path (the
 	// differential tests pin this) and exists as the baseline for
 	// BenchmarkSimStep and as the reference half of the repo's
-	// two-paths-one-answer invariant.
+	// two-paths-one-answer invariant. Incompatible with NewAdaptive.
 	Reference bool
+	// Adaptive selects the per-hop output policy for simulators built
+	// with NewAdaptive; it is ignored by the single-path engine.
+	Adaptive AdaptiveSelection
+}
+
+// AdaptiveSelection is the per-hop output-selection policy of an adaptive
+// simulator: how a head flit picks among its flow's permitted (and this
+// cycle admissible) next channels. Both policies are deterministic given
+// the seed: candidates are examined in ascending channel order, so the
+// outcome is a pure function of the simulation state.
+type AdaptiveSelection int
+
+const (
+	// FirstFree takes the lowest-ordered admissible candidate.
+	FirstFree AdaptiveSelection = iota
+	// LeastCongested takes the admissible candidate whose physical link
+	// buffers the fewest flits across its VCs (an admissible channel's
+	// own buffer is always empty; the other VCs of its link compete for
+	// the same link bandwidth). Ties go to the lowest-ordered candidate.
+	LeastCongested
+)
+
+// String returns the CLI spelling of the policy.
+func (a AdaptiveSelection) String() string {
+	if a == LeastCongested {
+		return "least-congested"
+	}
+	return "first-free"
+}
+
+// ParseAdaptiveSelection resolves a CLI spelling; empty means FirstFree.
+func ParseAdaptiveSelection(s string) (AdaptiveSelection, error) {
+	switch s {
+	case "", "first-free":
+		return FirstFree, nil
+	case "least-congested":
+		return LeastCongested, nil
+	}
+	return 0, fmt.Errorf("wormhole: unknown adaptive selection %q (valid: first-free, least-congested): %w",
+		s, nocerr.ErrInvalidInput)
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +161,9 @@ func (c Config) Validate() error {
 	}
 	if c.LoadFactor < 0 || c.LoadFactor > 1 {
 		return fmt.Errorf("wormhole: LoadFactor %f must be in [0,1]", c.LoadFactor)
+	}
+	if c.Adaptive != FirstFree && c.Adaptive != LeastCongested {
+		return fmt.Errorf("wormhole: unknown AdaptiveSelection %d: %w", c.Adaptive, nocerr.ErrInvalidInput)
 	}
 	if c.StallThreshold < 1 {
 		return fmt.Errorf("wormhole: StallThreshold %d must be >= 1", c.StallThreshold)

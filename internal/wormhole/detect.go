@@ -33,13 +33,34 @@ func (s *Simulator) confirmDeadlock() []*packet {
 		byID[p.id] = p
 	}
 
-	// Blocked buffer fronts.
+	// Blocked buffer fronts. In adaptive mode an undecided head waits on
+	// every permitted candidate it cannot take: the watchdog only fires
+	// after a cycle-long global stall, so a candidate that is free would
+	// already have been taken — each one is either owned by another worm
+	// (a wait edge) or back-pressured along this packet's own worm
+	// (covered transitively, skipped like the table-mode self case).
 	for ci := range s.chans {
 		cs := &s.chans[ci]
 		if cs.n == 0 {
 			continue
 		}
 		p := cs.front().pkt
+		if s.adaptive {
+			switch cs.nextIdx {
+			case -1: // ejection always possible: not blocked
+			case adaptivePending:
+				for _, nc := range s.flows[p.flow].adj[int32(ci)] {
+					if o := s.chans[nc].owner; o != -1 && o != p.id {
+						addEdge(p, o)
+					}
+				}
+			default:
+				if next := &s.chans[cs.nextIdx]; next.owner != -1 && next.owner != p.id {
+					addEdge(p, next.owner)
+				}
+			}
+			continue
+		}
 		ridx := s.flows[p.flow].routeIdx
 		if cs.hop == len(ridx)-1 {
 			continue // ejection always possible: not blocked
@@ -54,12 +75,27 @@ func (s *Simulator) confirmDeadlock() []*packet {
 	// cycle because nothing waits on it).
 	for i := range s.flows {
 		fs := &s.flows[i]
-		if fs.qlen() == 0 {
+		if fs.qlen() == 0 || fs.local {
+			continue
+		}
+		p := fs.qfront()
+		if s.adaptive {
+			if p.injected > 0 {
+				if o := s.chans[fs.curFirst].owner; o != -1 && o != p.id {
+					addEdge(p, o)
+				}
+				continue
+			}
+			for _, nc := range fs.first {
+				if o := s.chans[nc].owner; o != -1 && o != p.id {
+					addEdge(p, o)
+				}
+			}
 			continue
 		}
 		first := &s.chans[fs.routeIdx[0]]
-		if first.owner != -1 && first.owner != fs.qfront().id {
-			addEdge(fs.qfront(), first.owner)
+		if first.owner != -1 && first.owner != p.id {
+			addEdge(p, first.owner)
 		}
 	}
 

@@ -45,8 +45,9 @@ func (s *Simulator) tryRecover() bool {
 	}
 	// Flits still queued at the source keep injecting through the lane
 	// as well; time the drain as (remaining flits) + (remaining hops).
+	// Adaptive flows bound the hop count by their longest candidate path.
 	remFlits := int64(p.flits - p.ejected)
-	remHops := int64(len(s.flows[p.flow].routeCh))
+	remHops := int64(s.flows[p.flow].maxLen)
 	s.rec = &recovery{pkt: p, deliver: s.now + remFlits + remHops}
 	// If the packet was mid-injection, take it off the source queue so
 	// the next packet of the flow can start once the lane drain ends.

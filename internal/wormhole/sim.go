@@ -30,6 +30,12 @@ type flitRef struct {
 	isTail bool
 }
 
+// adaptivePending marks a channel whose owning worm's head has not yet
+// committed to a next channel — the adaptive engine re-evaluates the
+// permitted candidates every cycle until one is admissible; the head's
+// departure then freezes the choice so body flits follow it.
+const adaptivePending = -2
+
 // chanState is the runtime state of one channel: its downstream FIFO
 // (a fixed-capacity ring over a preallocated slice) and owning packet.
 // Invariant: the buffer holds only the owner's flits, and owner == -1
@@ -40,7 +46,7 @@ type chanState struct {
 	n       int       // occupied slots
 	owner   int       // packet ID, -1 if free
 	hop     int       // owner's hop index at this channel (valid while owner != -1)
-	nextIdx int32     // owner's next channel index, -1 at the final hop
+	nextIdx int32     // owner's next channel index, -1 at the final hop, adaptivePending while undecided
 
 	// refHop is the seed engine's flowID → hop-index table, built and
 	// consulted only on the Reference path so the baseline pays the same
@@ -61,9 +67,24 @@ type flowState struct {
 	routeIdx []int32
 	probBits uint64    // per-cycle creation probability, scaled to [0, 2^63]
 	flits    int       // packet length, hoisted out of the creation loop
+	local    bool      // same-switch flow: packets bypass the fabric
+	maxLen   int       // longest candidate path in hops (route length in table mode)
 	queue    []*packet // pending packets; queue[qhead:] are live
 	qhead    int       // consumed prefix, reclaimed when the queue empties
 	created  int       // packets created so far (for PacketsPerFlow budgeting)
+
+	// Adaptive-mode routing tables (nil in single-path mode): first are
+	// the permitted injection channels, adj the permitted transitions out
+	// of each channel, final the channels that end at the destination
+	// switch. All candidate lists are deduplicated and sorted ascending,
+	// so adaptive selection is deterministic.
+	first []int32
+	adj   map[int32][]int32
+	final map[int32]bool
+	// curFirst is the channel the currently-injecting packet's head chose;
+	// body flits of the same packet must follow it. Valid while the front
+	// packet is mid-injection.
+	curFirst int32
 }
 
 // qlen returns the number of queued packets.
@@ -82,6 +103,7 @@ func (fs *flowState) qfront() *packet { return fs.queue[fs.qhead] }
 // same inputs from different goroutines (pinned by a -race test).
 type Simulator struct {
 	cfg      Config
+	adaptive bool                     // NewAdaptive engine: per-hop output selection
 	rngState uint64                   // splitmix64 state driving the injection process
 	idx      map[topology.Channel]int // channel → dense index (construction + reference path)
 	chans    []chanState
@@ -97,6 +119,11 @@ type Simulator struct {
 	// Dense per-channel metadata, indexed like chans.
 	chanLink []int32 // physical link of each channel
 	chanVC   []int32 // VC index of each channel
+	// linkOcc counts flits buffered across all VCs of each link — the
+	// LeastCongested congestion signal. It is allocated (and maintained)
+	// only by NewAdaptive under that policy, so the single-path engine
+	// and FirstFree runs pay nothing for it.
+	linkOcc []int32
 
 	// Per-step scratch, reused to keep the steady-state loop allocation-free.
 	active    []int32  // channels with a non-empty buffer (the worklist)
@@ -114,16 +141,14 @@ type Simulator struct {
 	rec          *recovery // in-flight DISHA-style recovery, if any
 }
 
-// New builds a simulator for a routed workload. Every flow must have a
-// route whose channels are provisioned in the topology. The inputs are
-// never mutated, neither here nor by Step/Run.
-func New(top *topology.Topology, g *traffic.Graph, tab *route.Table, cfg Config) (*Simulator, error) {
-	cfg = cfg.withDefaults()
+// newSkeleton builds the per-channel state shared by both engines and
+// returns the simulator plus the bandwidth normalizer for probBits.
+func newSkeleton(top *topology.Topology, g *traffic.Graph, cfg Config) (*Simulator, float64, error) {
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := g.Validate(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	channels := top.Channels()
 	s := &Simulator{
@@ -161,6 +186,26 @@ func New(top *topology.Topology, g *traffic.Graph, tab *route.Table, cfg Config)
 	if maxBW == 0 {
 		maxBW = 1
 	}
+	return s, maxBW, nil
+}
+
+// finishInit sizes the ready worklist once the flow states exist.
+func (s *Simulator) finishInit() {
+	s.readyPos = make([]int32, len(s.flows))
+	for i := range s.readyPos {
+		s.readyPos[i] = -1
+	}
+}
+
+// New builds a simulator for a routed workload. Every flow must have a
+// route whose channels are provisioned (and not faulted) in the
+// topology. The inputs are never mutated, neither here nor by Step/Run.
+func New(top *topology.Topology, g *traffic.Graph, tab *route.Table, cfg Config) (*Simulator, error) {
+	cfg = cfg.withDefaults()
+	s, maxBW, err := newSkeleton(top, g, cfg)
+	if err != nil {
+		return nil, err
+	}
 	for _, f := range g.Flows() {
 		r := tab.Route(f.ID)
 		if r == nil {
@@ -172,12 +217,17 @@ func New(top *topology.Topology, g *traffic.Graph, tab *route.Table, cfg Config)
 			routeIdx: make([]int32, len(r.Channels)),
 			probBits: uint64(cfg.LoadFactor * f.Bandwidth / maxBW * (1 << 63)),
 			flits:    f.PacketFlits,
+			local:    len(r.Channels) == 0,
+			maxLen:   len(r.Channels),
 		}
 		seen := make(map[int]bool, len(r.Channels))
 		for hopIdx, ch := range r.Channels {
 			ci, ok := s.idx[ch]
 			if !ok {
 				return nil, fmt.Errorf("wormhole: flow %d uses unprovisioned channel %v", f.ID, ch)
+			}
+			if top.FaultedChannel(ch) {
+				return nil, fmt.Errorf("wormhole: flow %d routed over faulted link %d", f.ID, ch.Link)
 			}
 			if seen[ci] {
 				return nil, fmt.Errorf("wormhole: flow %d visits channel %v twice", f.ID, ch)
@@ -190,10 +240,7 @@ func New(top *topology.Topology, g *traffic.Graph, tab *route.Table, cfg Config)
 		}
 		s.flows = append(s.flows, fs)
 	}
-	s.readyPos = make([]int32, len(s.flows))
-	for i := range s.readyPos {
-		s.readyPos[i] = -1
-	}
+	s.finishInit()
 	return s, nil
 }
 
@@ -308,7 +355,7 @@ func (s *Simulator) createPackets() {
 		s.nextPkt++
 		fs.created++
 		s.stats.PerFlow[fs.id].Injected++
-		if len(fs.routeIdx) == 0 {
+		if fs.local {
 			// Local (same-switch) delivery bypasses the fabric. It counts
 			// as delivered but contributes no latency sample: local
 			// latency is zero by construction, and letting it into the
@@ -371,6 +418,9 @@ func (s *Simulator) push(ci int, fr flitRef) {
 	}
 	cs.buf[pos] = fr
 	cs.n++
+	if s.linkOcc != nil {
+		s.linkOcc[s.chanLink[ci]]++
+	}
 }
 
 // pop removes and returns channel ci's front flit, maintaining the
@@ -384,6 +434,9 @@ func (s *Simulator) pop(ci int) flitRef {
 		cs.head = 0
 	}
 	cs.n--
+	if s.linkOcc != nil {
+		s.linkOcc[s.chanLink[ci]]--
+	}
 	if cs.n == 0 {
 		s.deactivate(ci)
 	}
@@ -398,6 +451,9 @@ func (s *Simulator) clearChannel(ci int) int {
 	if n > 0 {
 		for i := range cs.buf {
 			cs.buf[i] = flitRef{}
+		}
+		if s.linkOcc != nil {
+			s.linkOcc[s.chanLink[ci]] -= int32(n)
 		}
 		s.deactivate(ci)
 	}
@@ -446,14 +502,25 @@ func (s *Simulator) arbitrate() []move {
 	for _, ci32 := range s.active {
 		ci := int(ci32)
 		cs := &s.chans[ci]
-		if cs.nextIdx < 0 {
+		if cs.nextIdx == -1 {
 			moves = append(moves, move{src: ci, dst: -1})
 			continue
 		}
-		ni := int(cs.nextIdx)
 		fr := cs.front()
-		if !s.admissible(ni, fr) {
-			continue
+		var ni int
+		if cs.nextIdx == adaptivePending {
+			// Undecided adaptive head: FIFO order guarantees the front
+			// flit is the head, so choose among the flow's permitted next
+			// channels now; the choice only commits when the move lands.
+			ni = s.chooseAdaptive(s.flows[fr.pkt.flow].adj[ci32], fr)
+			if ni < 0 {
+				continue
+			}
+		} else {
+			ni = int(cs.nextIdx)
+			if !s.admissible(ni, fr) {
+				continue
+			}
 		}
 		s.addCand(ni, cand{
 			m:   move{src: ci, dst: ni},
@@ -467,14 +534,35 @@ func (s *Simulator) arbitrate() []move {
 	depth := s.cfg.BufferDepth
 	for _, fi := range s.ready {
 		fs := &s.flows[fi]
-		ni := int(fs.routeIdx[0])
-		cs := &s.chans[ni]
-		if cs.n >= depth {
-			continue
-		}
-		p := fs.qfront()
-		if cs.owner != p.id && (cs.owner != -1 || p.injected != 0) {
-			continue
+		var ni int
+		if s.adaptive {
+			p := fs.qfront()
+			if p.injected == 0 {
+				// New head: adaptive choice among the permitted injection
+				// channels.
+				fr := flitRef{pkt: p, isHead: true, isTail: p.flits == 1}
+				ni = s.chooseAdaptive(fs.first, fr)
+				if ni < 0 {
+					continue
+				}
+			} else {
+				// Body flits follow the head's committed first channel.
+				ni = int(fs.curFirst)
+				cs := &s.chans[ni]
+				if cs.n >= depth || cs.owner != p.id {
+					continue
+				}
+			}
+		} else {
+			ni = int(fs.routeIdx[0])
+			cs := &s.chans[ni]
+			if cs.n >= depth {
+				continue
+			}
+			p := fs.qfront()
+			if cs.owner != p.id && (cs.owner != -1 || p.injected != 0) {
+				continue
+			}
 		}
 		s.addCand(ni, cand{
 			m:   move{src: -1, fl: fs.id, dst: ni},
@@ -648,6 +736,10 @@ func (s *Simulator) apply(m move) {
 		fr = flitRef{pkt: p, isHead: p.injected == 0, isTail: p.injected == p.flits-1}
 		p.injected++
 		s.stats.InjectedFlits++
+		if fr.isHead {
+			// Commit the head's injection choice so body flits follow.
+			fs.curFirst = int32(m.dst)
+		}
 		if fr.isTail {
 			s.dequeue(m.fl)
 		}
@@ -655,6 +747,11 @@ func (s *Simulator) apply(m move) {
 		src := &s.chans[m.src]
 		hop = src.hop + 1
 		fr = s.pop(m.src)
+		if fr.isHead && s.adaptive {
+			// The head's departure freezes the adaptive choice for the
+			// body flits still queued behind it in the source channel.
+			src.nextIdx = int32(m.dst)
+		}
 		if fr.isTail {
 			src.owner = -1
 		}
@@ -663,11 +760,20 @@ func (s *Simulator) apply(m move) {
 	if fr.isHead {
 		dst.owner = fr.pkt.id
 		dst.hop = hop
-		ridx := s.flows[fr.pkt.flow].routeIdx
-		if hop == len(ridx)-1 {
-			dst.nextIdx = -1
+		if s.adaptive {
+			fs := &s.flows[fr.pkt.flow]
+			if fs.final[int32(m.dst)] {
+				dst.nextIdx = -1
+			} else {
+				dst.nextIdx = adaptivePending
+			}
 		} else {
-			dst.nextIdx = ridx[hop+1]
+			ridx := s.flows[fr.pkt.flow].routeIdx
+			if hop == len(ridx)-1 {
+				dst.nextIdx = -1
+			} else {
+				dst.nextIdx = ridx[hop+1]
+			}
 		}
 	}
 	s.push(m.dst, fr)

@@ -44,6 +44,9 @@ type Session struct {
 	selection     CycleSelection
 	fullRebuild   bool
 	parallel      int
+	routings      []string
+	faults        int
+	maxPaths      int
 	progress      func(Event)
 	onBreak       func(BreakRecord) // legacy RemovalOptions.OnBreak passthrough
 }
@@ -85,6 +88,25 @@ func WithFullRebuild(on bool) Option { return func(s *Session) { s.fullRebuild =
 // WithParallel sets Sweep's worker count (default 1 = serial). Any value
 // produces a byte-identical report; this only changes wall-clock time.
 func WithParallel(n int) Option { return func(s *Session) { s.parallel = n } }
+
+// WithRouting sets Sweep's default routing-function axis for
+// regular-topology preset cells (canonical turn-model names, see
+// ParseTurnModel); a grid that carries its own Routings wins. The
+// default is deterministic dimension-ordered routing.
+func WithRouting(models ...string) Option {
+	return func(s *Session) { s.routings = append([]string(nil), models...) }
+}
+
+// WithFaults sets Sweep's default per-cell link-fault count for
+// regular-topology preset cells; a grid that carries its own Faults
+// wins. Faults are selected deterministically from each cell's seed and
+// never disconnect the network; pair them with an adaptive WithRouting —
+// deterministic DOR cannot route around a fault.
+func WithFaults(n int) Option { return func(s *Session) { s.faults = n } }
+
+// WithMaxPaths caps candidate paths per flow for adaptive sweep cells
+// (0 = the library default).
+func WithMaxPaths(n int) Option { return func(s *Session) { s.maxPaths = n } }
 
 // WithProgress streams the Session's Event feed to fn: cycle breaks and
 // VC additions during removal, cell completions during sweeps, epoch
@@ -218,7 +240,9 @@ func (s *Session) simConfig(cfg SimConfig) SimConfig {
 // WithVCLimit and WithFullRebuild apply to every cell's removal; the
 // grid's Policies axis governs cycle selection per cell (when the grid
 // leaves it empty, it defaults to the Session's WithSelection instead
-// of the paper default). Each cell's removal and simulations honor ctx;
+// of the paper default), and a grid without Routings/Faults/MaxPaths
+// inherits the Session's WithRouting/WithFaults/WithMaxPaths. Each
+// cell's removal and simulations honor ctx;
 // on cancellation the partial report is returned together with an error
 // wrapping ErrCanceled, with Report.Canceled set and unfinished cells
 // marked canceled. Completed cells emit EventSweepCell on the Session's
@@ -226,6 +250,15 @@ func (s *Session) simConfig(cfg SimConfig) SimConfig {
 func (s *Session) Sweep(ctx context.Context, grid SweepGrid, opts SweepOptions) (*SweepReport, error) {
 	if len(grid.Policies) == 0 && s.selection == FirstFound {
 		grid.Policies = []string{"first"}
+	}
+	if len(grid.Routings) == 0 {
+		grid.Routings = append([]string(nil), s.routings...)
+	}
+	if grid.Faults == 0 {
+		grid.Faults = s.faults
+	}
+	if grid.MaxPaths == 0 {
+		grid.MaxPaths = s.maxPaths
 	}
 	ropts := runner.Options{
 		Parallel:    s.parallel,

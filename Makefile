@@ -11,7 +11,7 @@ FUZZ_PKGS ?= ./...
 # Minimum total statement coverage accepted by the cover gate.
 COVER_MIN ?= 70
 
-.PHONY: build test race bench bench-pin fmt vet lint vulncheck cover fuzz-smoke sweep-smoke deep-sweep examples ci
+.PHONY: build test race bench bench-pin fmt vet lint vulncheck cover fuzz-smoke sweep-smoke sweep-smoke-sharded deep-sweep examples ci
 
 build:
 	$(GO) build ./...
@@ -83,18 +83,33 @@ sweep-smoke:
 		-routing odd-even,min-adaptive -faults 1 -seeds 0 -quiet \
 		-json sweep-report-adaptive.json
 
+# The distributed-path smoke: the same faulted grid swept serially and
+# sharded across two in-process serve workers must produce byte-identical
+# JSON reports (cmp exits non-zero on the first differing byte).
+sweep-smoke-sharded:
+	$(GO) run ./cmd/nocexp sweep -benchmarks mesh:4,torus:4x4:transpose \
+		-routing west-first,odd-even -faults 1 -parallel 1 -quiet \
+		-json sweep-serial.json
+	$(GO) run ./cmd/nocexp sweep -benchmarks mesh:4,torus:4x4:transpose \
+		-routing west-first,odd-even -faults 1 -shard-local 2 -quiet \
+		-json sweep-sharded.json
+	cmp sweep-serial.json sweep-sharded.json
+	@echo "sharded report is byte-identical to serial"
+
 # The nightly tier's scenario surface: 8x8 and 10x10 meshes and tori,
 # every turn model plus fully-adaptive minimal routing, two seeded link
 # faults per cell, with flit-level verification. The mesh cells carry
 # adversarial permutation traffic (bit-reversal gives min-adaptive a
 # genuinely cyclic union CDG, so removal has real work; transpose
 # stresses turn diversity) and the torus cells are the textbook dateline
-# hazard. ~50 cells, ~20s of removal+simulation on a laptop-class core.
+# hazard. ~50 cells, sharded across four in-process workers through the
+# same distributed path production deployments use (-shard-local keeps
+# the report byte-identical to a serial run by construction).
 deep-sweep:
 	$(GO) run ./cmd/nocexp sweep -simulate -faults 2 \
 		-benchmarks mesh:8x8:bitrev,mesh:8x8:transpose,mesh:10x10:transpose,torus:8,torus:10 \
 		-routing west-first,north-last,negative-first,odd-even,min-adaptive \
-		-seeds 0,1 -quiet -json deep-sweep-report.json
+		-seeds 0,1 -quiet -shard-local 4 -json deep-sweep-report.json
 
 # FUZZTIME per fuzz target across every package of FUZZ_PKGS that
 # defines one (PR tier: 10s smoke over ./...; nightly: 5m per package).
@@ -124,4 +139,4 @@ examples-run:
 serve-smoke:
 	./scripts/serve-smoke.sh
 
-ci: build vet fmt lint vulncheck race cover examples sweep-smoke
+ci: build vet fmt lint vulncheck race cover examples sweep-smoke sweep-smoke-sharded

@@ -13,6 +13,7 @@ import (
 
 	"github.com/nocdr/nocdr/internal/bench/runner"
 	"github.com/nocdr/nocdr/internal/route"
+	"github.com/nocdr/nocdr/internal/serve"
 	"github.com/nocdr/nocdr/internal/traffic"
 	"github.com/nocdr/nocdr/internal/wormhole"
 )
@@ -39,7 +40,11 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	faults := fs.Int("faults", 0,
 		"mask this many seeded link faults per preset cell (network stays connected; routes regenerate around them — pair with an adaptive -routing, DOR cannot route around faults)")
 	maxPaths := fs.Int("paths", 0, "max candidate paths per flow for adaptive routings (0 = library default)")
-	parallel := fs.Int("parallel", runtime.NumCPU(), "worker count (1 = serial)")
+	parallel := fs.Int("parallel", runtime.NumCPU(), "in-process worker count (1 = serial); with -shard-local it is divided among the spawned workers; with -workers each remote worker's own -sweep-parallel governs instead")
+	workers := fs.String("workers", "",
+		"comma-separated base URLs of running `nocdr serve` workers: shard the grid across them over HTTP and merge a report byte-identical to a local run")
+	shardLocal := fs.Int("shard-local", 0,
+		"spawn this many in-process serve workers on loopback and shard the sweep across them (single-machine parallelism through the same distributed path)")
 	jsonOut := fs.String("json", "", "write the deterministic JSON report to this file")
 	fullRebuild := fs.Bool("full-rebuild", false, "use the full-rebuild Remove path instead of the incremental one")
 	simulate := fs.Bool("simulate", false,
@@ -59,23 +64,57 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 
+	if *workers != "" && *shardLocal > 0 {
+		return fmt.Errorf("-workers and -shard-local are mutually exclusive")
+	}
+	if *shardLocal < 0 {
+		return fmt.Errorf("-shard-local: worker count %d out of range", *shardLocal)
+	}
+
+	// An axis flag that filters out every value must fail loudly: falling
+	// back to the axis default behind the user's back would sweep a grid
+	// they explicitly emptied. emptyOK marks axes whose flag default is
+	// "" — there an empty value means "use the library default", while a
+	// value of only separators still empties the grid.
+	axis := func(name, val string, emptyOK bool) ([]string, error) {
+		vals := splitCSV(val)
+		if len(vals) == 0 && !(emptyOK && val == "") {
+			return nil, fmt.Errorf("empty grid: -%s %q selects no values", name, val)
+		}
+		return vals, nil
+	}
 	grid := runner.Grid{
-		Policies: splitCSV(*policies),
-		Routings: splitCSV(*routing),
 		Faults:   *faults,
 		MaxPaths: *maxPaths,
 	}
-	if *benchmarks != "" && *benchmarks != "all" {
-		grid.Benchmarks = splitCSV(*benchmarks)
-	} else {
-		grid.Benchmarks = traffic.BenchmarkNames()
-	}
 	var err error
+	if grid.Policies, err = axis("policies", *policies, false); err != nil {
+		return err
+	}
+	if grid.Routings, err = axis("routing", *routing, true); err != nil {
+		return err
+	}
+	if *benchmarks == "" || *benchmarks == "all" {
+		grid.Benchmarks = traffic.BenchmarkNames()
+	} else if grid.Benchmarks, err = axis("benchmarks", *benchmarks, false); err != nil {
+		return err
+	}
+	if _, err = axis("switches", *switches, true); err != nil {
+		return err
+	}
 	if grid.SwitchCounts, err = parseInts(*switches); err != nil {
 		return fmt.Errorf("-switches: %w", err)
 	}
+	if _, err = axis("seeds", *seeds, false); err != nil {
+		return err
+	}
 	if grid.Seeds, err = parseInt64s(*seeds); err != nil {
 		return fmt.Errorf("-seeds: %w", err)
+	}
+	if len(grid.Jobs()) == 0 {
+		// Backstop for any other way the cross product collapses: never
+		// write a vacuous report and exit 0.
+		return fmt.Errorf("empty grid: the axes select no cells to run")
 	}
 	adaptiveSel, err := wormhole.ParseAdaptiveSelection(*simAdaptive)
 	if err != nil {
@@ -91,7 +130,24 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	if !*quiet {
 		opts.Progress = stderr
 	}
-	rep, err := runner.RunContext(ctx, grid, opts)
+	var rep *runner.Report
+	if *workers != "" || *shardLocal > 0 {
+		urls := splitCSV(*workers)
+		if *shardLocal > 0 {
+			// Split the machine's budget across the spawned workers
+			// instead of oversubscribing it shard-local-fold.
+			per := max(1, *parallel / *shardLocal)
+			var shutdown func()
+			urls, shutdown, err = serve.LocalCluster(*shardLocal, serve.Options{Workers: 2, SweepParallel: per})
+			if err != nil {
+				return err
+			}
+			defer shutdown()
+		}
+		rep, err = (&runner.Sharded{Workers: urls}).RunContext(ctx, grid, opts)
+	} else {
+		rep, err = runner.RunContext(ctx, grid, opts)
+	}
 	if err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -161,5 +162,69 @@ func TestSweepCanceledPartialReport(t *testing.T) {
 		if r.Benchmark != "D26_media" {
 			t.Fatalf("result %d lost its job identity: %q", i, r.Benchmark)
 		}
+	}
+}
+
+// TestSweepShardLocalMatchesSerial is the CLI-level conformance check of
+// the sharded backend: `-shard-local 2` routes the grid through two
+// in-process serve workers over real HTTP and must write a JSON report
+// byte-identical to the serial run.
+func TestSweepShardLocalMatchesSerial(t *testing.T) {
+	dir := t.TempDir()
+	serialPath := filepath.Join(dir, "serial.json")
+	shardedPath := filepath.Join(dir, "sharded.json")
+	base := []string{"-benchmarks", "mesh:4,torus:4x4:transpose", "-routing", "west-first,odd-even",
+		"-faults", "1", "-quiet"}
+	if err := runSweep(context.Background(), append(base, "-parallel", "1", "-json", serialPath), io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweep(context.Background(), append(base, "-shard-local", "2", "-json", shardedPath), io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	serial, err := os.ReadFile(serialPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := os.ReadFile(shardedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial, sharded) {
+		t.Fatal("serial and shard-local sweep JSON reports differ")
+	}
+}
+
+// TestSweepEmptyGridFails pins the empty-grid fix: axes that filter out
+// every cell must exit non-zero with a clear error and write no report,
+// never a vacuous report with exit 0.
+func TestSweepEmptyGridFails(t *testing.T) {
+	dir := t.TempDir()
+	for i, args := range [][]string{
+		{"-benchmarks", ","},
+		{"-switches", ", ,"},
+		{"-seeds", ","},
+		{"-policies", ""},
+		{"-routing", ","},
+	} {
+		jsonPath := filepath.Join(dir, fmt.Sprintf("empty-%d.json", i))
+		err := runSweep(context.Background(), append(args, "-quiet", "-json", jsonPath), io.Discard, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), "empty grid") {
+			t.Errorf("%v: expected an empty-grid error, got %v", args, err)
+		}
+		if _, statErr := os.Stat(jsonPath); statErr == nil {
+			t.Errorf("%v: empty grid still wrote a report", args)
+		}
+	}
+}
+
+// TestSweepShardFlagsExclusive rejects -workers together with
+// -shard-local.
+func TestSweepShardFlagsExclusive(t *testing.T) {
+	err := runSweep(context.Background(), []string{"-workers", "http://localhost:1", "-shard-local", "2"}, io.Discard, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("expected a mutual-exclusion error, got %v", err)
+	}
+	if err := runSweep(context.Background(), []string{"-shard-local", "-1"}, io.Discard, io.Discard); err == nil {
+		t.Error("negative -shard-local accepted")
 	}
 }

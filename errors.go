@@ -32,6 +32,10 @@ var (
 	ErrInvalidInput = nocerr.ErrInvalidInput
 	// ErrNotFound reports a lookup miss (unknown benchmark, unknown job).
 	ErrNotFound = nocerr.ErrNotFound
+	// ErrWorker reports a sharded-sweep worker failure the dispatcher
+	// could not absorb (see WithWorkers): a shard exhausted its retry
+	// budget, or every worker died with cells still unassigned.
+	ErrWorker = nocerr.ErrWorker
 )
 
 // wrapErr gives every error leaving the public API the uniform "nocdr: "

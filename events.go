@@ -24,6 +24,14 @@ const (
 	// EventSimEpoch fires every SimConfig.EpochCycles simulated cycles
 	// of a Session simulation; Event.Epoch carries the snapshot.
 	EventSimEpoch
+	// EventShardAssigned fires when a sharded sweep (WithWorkers) hands a
+	// shard to a worker, including reassignments after a failure;
+	// Event.Shard/ShardTotal name the shard, Event.Worker the URL.
+	EventShardAssigned
+	// EventWorkerRetry fires when a sharded sweep requeues a shard after
+	// a worker failure; Event.Shard and Event.Worker identify the failed
+	// attempt, Event.WorkerErr carries the failure.
+	EventWorkerRetry
 )
 
 // String names the kind for logs ("cycle_broken", "vc_added", ...).
@@ -37,6 +45,10 @@ func (k EventKind) String() string {
 		return "sweep_cell"
 	case EventSimEpoch:
 		return "sim_epoch"
+	case EventShardAssigned:
+		return "shard_assigned"
+	case EventWorkerRetry:
+		return "worker_retry"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -66,6 +78,13 @@ type SweepOptions struct {
 	Simulate bool
 	// Sim parameterizes the simulations when Simulate is set.
 	Sim SimParams
+	// ShardIndex/ShardCount restrict the sweep to the grid cells the
+	// stable shard hash assigns to shard ShardIndex of ShardCount — the
+	// worker side of the sharded backend (the /v1/sweep?shard=i/n
+	// filter). ShardCount 0 sweeps the whole grid. Mutually exclusive
+	// with WithWorkers, which dispatches shards instead of serving one.
+	ShardIndex int
+	ShardCount int
 }
 
 // Event is one entry of a Session's progress feed (see WithProgress).
@@ -92,4 +111,15 @@ type Event struct {
 
 	// Epoch is the simulation snapshot (EventSimEpoch).
 	Epoch *SimEpoch
+
+	// Shard/ShardTotal locate a sharded-sweep shard (EventShardAssigned,
+	// EventWorkerRetry).
+	Shard      int
+	ShardTotal int
+	// Worker is the worker URL involved (EventShardAssigned,
+	// EventWorkerRetry).
+	Worker string
+	// WorkerErr is the failure that triggered a requeue
+	// (EventWorkerRetry).
+	WorkerErr string
 }

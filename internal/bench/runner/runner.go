@@ -269,6 +269,14 @@ type Options struct {
 	// issued from any worker goroutine.
 	OnResult func(index, total int, res Result)
 
+	// ShardIndex/ShardCount restrict the run to the grid cells ShardOf
+	// assigns to shard ShardIndex of ShardCount (the worker side of the
+	// sharded sweep backend). ShardCount 0 runs the whole grid. A sharded
+	// report's Results hold only the owned cells, still in Grid.Jobs
+	// order; MergeShards reassembles the full report.
+	ShardIndex int
+	ShardCount int
+
 	// maxPaths carries Grid.MaxPaths to the per-job evaluation.
 	maxPaths int
 }
@@ -290,9 +298,21 @@ func RunContext(ctx context.Context, grid Grid, opts Options) (*Report, error) {
 	if err := grid.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.ShardCount < 0 || (opts.ShardCount > 0 && (opts.ShardIndex < 0 || opts.ShardIndex >= opts.ShardCount)) {
+		return nil, fmt.Errorf("%w: shard %d/%d out of range", nocerr.ErrInvalidInput, opts.ShardIndex, opts.ShardCount)
+	}
 	grid = grid.normalized()
 	opts.maxPaths = grid.MaxPaths
 	jobs := grid.Jobs()
+	if opts.ShardCount > 0 {
+		owned := make([]Job, 0, len(jobs))
+		for _, j := range jobs {
+			if ShardOf(j, opts.ShardCount) == opts.ShardIndex {
+				owned = append(owned, j)
+			}
+		}
+		jobs = owned
+	}
 	results := make([]Result, len(jobs))
 	scheduled := make([]bool, len(jobs))
 

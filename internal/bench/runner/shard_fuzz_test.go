@@ -1,0 +1,116 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// FuzzShardMerge fuzzes the shard assignment + report merge round trip:
+// ANY partition of a grid's cells into any number of shard reports — not
+// just the hash partition — delivered in any order and serialized over
+// the wire, must merge back to bytes identical to the direct report.
+// This is the invariant the distributed backend's correctness rests on;
+// the nightly deep-verify fuzz matrix runs it for minutes at a stretch.
+func FuzzShardMerge(f *testing.F) {
+	f.Add(uint8(3), int64(42), []byte{0, 1, 2, 250})
+	f.Add(uint8(1), int64(0), []byte{})
+	f.Add(uint8(16), int64(-9), []byte{7})
+	f.Fuzz(func(t *testing.T, nshards uint8, seed int64, partition []byte) {
+		grid := Grid{
+			Benchmarks:   []string{"mesh:3", "rand:12x2", "D26_media"},
+			SwitchCounts: []int{6, 9},
+			Routings:     []string{"west-first", "odd-even"},
+			Policies:     []string{"smallest", "first"},
+			Seeds:        []int64{0, 1},
+			Faults:       1,
+		}
+		n := int(nshards%8) + 1
+		norm := grid.normalized()
+		jobs := norm.Jobs()
+
+		// Fabricated deterministic results: merging is pure bookkeeping,
+		// so the fuzz budget goes into partitions, not removal runs.
+		results := make([]Result, len(jobs))
+		for i, j := range jobs {
+			r := Result{Job: j, Cores: 3 + i, RemovalVCs: i % 5, OrderingVCs: i % 7, Breaks: i % 3}
+			switch i % 4 {
+			case 1:
+				r.Skipped = true
+			case 2:
+				r.Error = "synthetic failure"
+			case 3:
+				r.Sim = &SimResult{
+					PreRan:         true,
+					PreDeadlock:    i%2 == 1,
+					PostDelivered:  int64(i) * 11,
+					PostAvgLatency: float64(i) * 1.37,
+					PostP95:        int64(i) % 97,
+					PostThroughput: float64(i) / 3.0,
+				}
+			}
+			results[i] = r
+		}
+		want := &Report{Grid: norm, Results: results}
+		var wantBuf bytes.Buffer
+		if err := want.WriteJSON(&wantBuf); err != nil {
+			t.Fatal(err)
+		}
+
+		// Partition by the fuzz bytes, shuffle orders by the fuzz seed.
+		parts := make([]*Report, n)
+		for i := range parts {
+			parts[i] = &Report{Grid: norm}
+		}
+		for i, r := range results {
+			p := 0
+			if len(partition) > 0 {
+				p = int(partition[i%len(partition)]) % n
+			}
+			parts[p].Results = append(parts[p].Results, r)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for _, p := range parts {
+			rng.Shuffle(len(p.Results), func(a, b int) {
+				p.Results[a], p.Results[b] = p.Results[b], p.Results[a]
+			})
+		}
+		rng.Shuffle(len(parts), func(a, b int) { parts[a], parts[b] = parts[b], parts[a] })
+
+		// Round-trip every shard report through JSON — the coordinator
+		// merges decoded wire documents, so floats and omitempty fields
+		// must survive serialization exactly.
+		decoded := make([]*Report, n)
+		for i, p := range parts {
+			data, err := json.Marshal(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded[i] = new(Report)
+			if err := json.Unmarshal(data, decoded[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		merged, err := MergeShards(grid, decoded...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if err := merged.WriteJSON(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantBuf.Bytes(), got.Bytes()) {
+			t.Fatalf("merge round trip diverged (n=%d):\nwant:\n%s\ngot:\n%s", n, wantBuf.String(), got.String())
+		}
+
+		// The assignment itself: bounded and stable for this shard count.
+		for _, j := range jobs {
+			s := ShardOf(j, n)
+			if s < 0 || s >= n || s != ShardOf(j, n) {
+				t.Fatalf("ShardOf(%q, %d) unstable or out of range: %d", j.Key(), n, s)
+			}
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package runner
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestShardOfStableAndBounded pins the assignment contract: pure function
+// of the cell key, in range, and indifferent to everything but identity.
+func TestShardOfStableAndBounded(t *testing.T) {
+	grid := Grid{
+		Benchmarks: []string{"D26_media", "mesh:4", "torus:4x4:transpose"},
+		Routings:   []string{"west-first", "odd-even"},
+		Seeds:      []int64{0, 1, 2},
+	}
+	jobs := grid.Jobs()
+	for _, n := range []int{1, 2, 3, 7, DefaultShardCount} {
+		for _, j := range jobs {
+			s := ShardOf(j, n)
+			if s < 0 || s >= n {
+				t.Fatalf("ShardOf(%q, %d) = %d out of range", j.Key(), n, s)
+			}
+			if again := ShardOf(j, n); again != s {
+				t.Fatalf("ShardOf(%q, %d) unstable: %d then %d", j.Key(), n, s, again)
+			}
+		}
+	}
+	// Distinct cells must get distinct keys.
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if seen[j.Key()] {
+			t.Fatalf("duplicate key %q for distinct cells", j.Key())
+		}
+		seen[j.Key()] = true
+	}
+}
+
+// TestRunContextShardFilterPartitions runs every shard of a grid
+// separately and checks the shard reports partition the job list: each
+// owned subset is in global job order, the subsets are disjoint, and
+// merging them reproduces the unsharded report byte for byte.
+func TestRunContextShardFilterPartitions(t *testing.T) {
+	grid := Grid{
+		Benchmarks:   []string{"D26_media", "mesh:4"},
+		SwitchCounts: []int{8, 14},
+		Routings:     []string{"west-first", "odd-even"},
+		Seeds:        []int64{0, 1},
+	}
+	full, err := Run(grid, Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 3
+	var parts []*Report
+	total := 0
+	for i := 0; i < shards; i++ {
+		part, err := Run(grid, Options{Parallel: 2, ShardIndex: i, ShardCount: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range part.Results {
+			if ShardOf(r.Job, shards) != i {
+				t.Fatalf("shard %d report carries foreign cell %q", i, r.Job.Key())
+			}
+		}
+		total += len(part.Results)
+		parts = append(parts, part)
+	}
+	if total != len(full.Results) {
+		t.Fatalf("shards hold %d cells, grid has %d", total, len(full.Results))
+	}
+	merged, err := MergeShards(grid, parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := full.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("merged shard reports differ from the unsharded run:\nfull:\n%s\nmerged:\n%s", a.String(), b.String())
+	}
+}
+
+// TestMergeShardsShuffled pins order independence: shard reports fed in
+// any order, with cells shuffled inside each report, merge to the same
+// bytes.
+func TestMergeShardsShuffled(t *testing.T) {
+	grid := Grid{
+		Benchmarks:   []string{"D26_media", "mesh:4"},
+		SwitchCounts: []int{8, 11, 14},
+		Seeds:        []int64{0, 1},
+	}
+	full, err := Run(grid, Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := full.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 20; round++ {
+		const shards = 4
+		parts := make([]*Report, shards)
+		for i := range parts {
+			parts[i] = &Report{Grid: full.Grid}
+		}
+		for _, r := range full.Results {
+			i := rng.Intn(shards) // any partition, not just the hash's
+			parts[i].Results = append(parts[i].Results, r)
+		}
+		for _, p := range parts {
+			rng.Shuffle(len(p.Results), func(a, b int) {
+				p.Results[a], p.Results[b] = p.Results[b], p.Results[a]
+			})
+		}
+		rng.Shuffle(len(parts), func(a, b int) { parts[a], parts[b] = parts[b], parts[a] })
+		merged, err := MergeShards(grid, parts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if err := merged.WriteJSON(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatalf("round %d: shuffled merge differs from the direct report", round)
+		}
+	}
+}
+
+// TestMergeShardsMissingAndForeign pins the failure semantics: missing
+// cells come back canceled (and mark the report canceled), foreign or
+// duplicated cells are an error.
+func TestMergeShardsMissingAndForeign(t *testing.T) {
+	grid := Grid{Benchmarks: []string{"D26_media"}, SwitchCounts: []int{8, 14}}
+	full, err := Run(grid, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := &Report{Grid: full.Grid, Results: full.Results[:1]}
+	merged, err := MergeShards(grid, partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.Canceled {
+		t.Error("merge with a missing cell not marked canceled")
+	}
+	if !merged.Results[1].Canceled || merged.Results[1].Benchmark != "D26_media" {
+		t.Errorf("missing cell slot malformed: %+v", merged.Results[1])
+	}
+	if merged.Results[0].Canceled {
+		t.Error("present cell marked canceled")
+	}
+
+	if _, err := MergeShards(grid, partial, partial); err == nil {
+		t.Error("duplicated cell accepted")
+	}
+	foreign := &Report{Results: []Result{{Job: Job{Benchmark: "no_such", SwitchCount: 1}}}}
+	if _, err := MergeShards(grid, foreign); err == nil {
+		t.Error("foreign cell accepted")
+	}
+}
+
+// TestRunContextShardValidation rejects out-of-range shard filters.
+func TestRunContextShardValidation(t *testing.T) {
+	grid := Grid{Benchmarks: []string{"D26_media"}, SwitchCounts: []int{8}}
+	for _, bad := range []Options{
+		{ShardCount: -1},
+		{ShardIndex: -1, ShardCount: 2},
+		{ShardIndex: 2, ShardCount: 2},
+	} {
+		if _, err := Run(grid, bad); err == nil {
+			t.Errorf("shard filter %d/%d accepted", bad.ShardIndex, bad.ShardCount)
+		}
+	}
+}

@@ -1,0 +1,507 @@
+// The sharded sweep dispatcher: the coordinator side of the distributed
+// backend. It cuts the grid into DefaultShardCount shards (ShardOf),
+// hands shards to remote `nocdr serve` workers over the /v1/sweep job
+// API, polls each job to completion, requeues shards whose worker dies
+// mid-flight, drains partial results on cancellation, and merges the
+// shard reports into a report byte-identical to a single-process run.
+
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/nocdr/nocdr/internal/core"
+	"github.com/nocdr/nocdr/internal/nocerr"
+)
+
+// Sharded fans a sweep grid out across `nocdr serve` workers. The zero
+// value plus a Workers list is ready to use:
+//
+//	rep, err := (&runner.Sharded{Workers: []string{"http://a:8080", "http://b:8080"}}).
+//		RunContext(ctx, grid, opts)
+//
+// Determinism contract: the merged report is byte-identical to
+// RunContext's output on the same grid and options, for any worker
+// count, any scheduling order, and any pattern of worker failures the
+// retry budget absorbs — cells are assigned to shards by a stable hash
+// of their identity, every cell is evaluated by the same deterministic
+// pipeline wherever it lands, and results are merged into pre-assigned
+// slots.
+type Sharded struct {
+	// Workers are the base URLs of running `nocdr serve` instances
+	// (scheme://host:port, no trailing slash required).
+	Workers []string
+	// Shards overrides DefaultShardCount. The shard count — not the
+	// worker count — is the granularity of assignment, load balancing
+	// and requeue, so it may exceed the worker count freely.
+	Shards int
+	// Client is the HTTP client; nil uses a plain &http.Client{} (no
+	// global timeout — sweep jobs are long-lived; cancellation flows
+	// through the run context instead).
+	Client *http.Client
+	// PollInterval is the job-status polling period (default 25ms).
+	PollInterval time.Duration
+	// Retries is the attempt budget per shard across all workers
+	// (default 3): a shard failing that many times fails the run with an
+	// error wrapping nocerr.ErrWorker.
+	Retries int
+	// WorkerParallel overrides each worker's per-sweep runner pool size
+	// (0 keeps the worker's own default).
+	WorkerParallel int
+	// DrainTimeout bounds how long a canceled run waits for workers to
+	// surrender partial shard reports (default 10s).
+	DrainTimeout time.Duration
+	// OnAssign, when non-nil, observes every shard→worker assignment
+	// (including reassignments after a failure).
+	OnAssign func(shard, shards int, worker string)
+	// OnRetry, when non-nil, observes every shard requeue: the shard,
+	// the worker that failed it, and the failure.
+	OnRetry func(shard int, worker string, err error)
+}
+
+func (d *Sharded) client() *http.Client {
+	if d.Client != nil {
+		return d.Client
+	}
+	return &http.Client{}
+}
+
+func (d *Sharded) pollInterval() time.Duration {
+	if d.PollInterval > 0 {
+		return d.PollInterval
+	}
+	return 25 * time.Millisecond
+}
+
+func (d *Sharded) drainTimeout() time.Duration {
+	if d.DrainTimeout > 0 {
+		return d.DrainTimeout
+	}
+	return 10 * time.Second
+}
+
+// shardRequest is the client side of serve's POST /v1/sweep body; field
+// names mirror the server's request schema.
+type shardRequest struct {
+	Grid     Grid      `json:"grid"`
+	Simulate bool      `json:"simulate"`
+	Sim      SimParams `json:"sim"`
+	Parallel int       `json:"parallel,omitempty"`
+	Options  struct {
+		VCLimit     int    `json:"vc_limit"`
+		FullRebuild bool   `json:"full_rebuild"`
+		Policy      string `json:"policy"`
+	} `json:"options"`
+}
+
+// wireStatus is the slice of serve's job-status document the dispatcher
+// reads while polling.
+type wireStatus struct {
+	State  string          `json:"state"`
+	Error  string          `json:"error"`
+	Result json.RawMessage `json:"result"`
+}
+
+// policyWire maps the direction policy to serve's wire spelling.
+func policyWire(p core.DirectionPolicy) string {
+	switch p {
+	case core.ForwardOnly:
+		return "forward"
+	case core.BackwardOnly:
+		return "backward"
+	default:
+		return "best"
+	}
+}
+
+// outcome is one finished (or failed) shard attempt.
+type outcome struct {
+	shard  int
+	worker int
+	rep    *Report
+	err    error
+	// dead marks the worker unusable: transport failures and unparseable
+	// responses retire it; the shard requeues to the survivors.
+	dead bool
+}
+
+// RunContext executes the grid across the dispatcher's workers and
+// returns the merged report. Cancellation mirrors RunContext's serial
+// contract: in-flight shard jobs are canceled on their workers, their
+// partial results drained, unrun cells marked canceled, and the partial
+// report returned with a nil error. Worker failures beyond the retry
+// budget — or the death of every worker — fail the run with an error
+// wrapping nocerr.ErrWorker.
+func (d *Sharded) RunContext(ctx context.Context, grid Grid, opts Options) (*Report, error) {
+	if len(d.Workers) == 0 {
+		return nil, fmt.Errorf("%w: sharded sweep needs at least one worker URL", nocerr.ErrInvalidInput)
+	}
+	if opts.ShardCount != 0 {
+		return nil, fmt.Errorf("%w: cannot nest a shard filter inside a sharded dispatch", nocerr.ErrInvalidInput)
+	}
+	if err := grid.Validate(); err != nil {
+		return nil, err
+	}
+	grid = grid.normalized()
+	shards := d.Shards
+	if shards <= 0 {
+		shards = DefaultShardCount
+	}
+	jobs := grid.Jobs()
+	perShard := make([]int, shards)
+	for _, j := range jobs {
+		perShard[ShardOf(j, shards)]++
+	}
+	// Only populated shards become work items; empty ones need no job.
+	var pending []int
+	for s := 0; s < shards; s++ {
+		if perShard[s] > 0 {
+			pending = append(pending, s)
+		}
+	}
+	retries := d.Retries
+	if retries <= 0 {
+		retries = 3
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// One goroutine per worker, fed one shard at a time over its own
+	// channel; all scheduling state lives in this goroutine.
+	feed := make([]chan int, len(d.Workers))
+	done := make(chan outcome)
+	var wg sync.WaitGroup
+	for w := range d.Workers {
+		feed[w] = make(chan int)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for shard := range feed[w] {
+				rep, dead, err := d.runShard(cctx, d.Workers[w], grid, shard, shards, opts)
+				done <- outcome{shard: shard, worker: w, rep: rep, err: err, dead: dead}
+			}
+		}(w)
+	}
+
+	// Global slot indices per cell key, consumed as progress callbacks
+	// fire so OnResult reports the same indices a local run would.
+	var slotOf map[string][]int
+	if opts.OnResult != nil {
+		slotOf = make(map[string][]int, len(jobs))
+		for i, j := range jobs {
+			k := j.Key()
+			slotOf[k] = append(slotOf[k], i)
+		}
+	}
+
+	var (
+		reports     []*Report
+		attempts    = make([]int, shards)
+		free        []int
+		inflight    int
+		fatal       error
+		interrupted bool
+		progressed  int
+	)
+	for w := range d.Workers {
+		free = append(free, w)
+	}
+	ctxDone := ctx.Done()
+
+	for {
+		// Hand pending shards to free workers while the run is healthy.
+		for len(pending) > 0 && len(free) > 0 && fatal == nil && !interrupted {
+			w := free[len(free)-1]
+			free = free[:len(free)-1]
+			shard := pending[0]
+			pending = pending[1:]
+			if d.OnAssign != nil {
+				d.OnAssign(shard, shards, d.Workers[w])
+			}
+			feed[w] <- shard
+			inflight++
+		}
+		if inflight == 0 {
+			if len(pending) > 0 && fatal == nil && !interrupted {
+				// Shards remain but every worker has been retired.
+				fatal = fmt.Errorf("%w: %d shard(s) unassigned and no workers left alive", nocerr.ErrWorker, len(pending))
+			}
+			break
+		}
+		select {
+		case o := <-done:
+			inflight--
+			// A dead worker never returns to the free list; liveness IS
+			// membership in free or an in-flight shard.
+			if !o.dead {
+				free = append(free, o.worker)
+			}
+			switch {
+			case o.err == nil:
+				if o.rep != nil {
+					reports = append(reports, o.rep)
+					if o.rep.Canceled {
+						interrupted = true
+					}
+					for i := range o.rep.Results {
+						res := o.rep.Results[i]
+						progressed++
+						if opts.Progress != nil {
+							fmt.Fprintf(opts.Progress, "sweep %d/%d: %s\n", progressed, len(jobs), res.oneLine())
+						}
+						if opts.OnResult != nil {
+							k := res.Job.Key()
+							if slots := slotOf[k]; len(slots) > 0 {
+								slotOf[k] = slots[1:]
+								opts.OnResult(slots[0], len(jobs), res)
+							}
+						}
+					}
+				}
+			case cctx.Err() != nil:
+				// Failure raced the cancellation: keep any partial result
+				// and let the drain finish.
+				interrupted = true
+				if o.rep != nil {
+					reports = append(reports, o.rep)
+				}
+			default:
+				attempts[o.shard]++
+				if d.OnRetry != nil {
+					d.OnRetry(o.shard, d.Workers[o.worker], o.err)
+				}
+				if attempts[o.shard] >= retries {
+					fatal = fmt.Errorf("%w: shard %d/%d failed after %d attempt(s): %v",
+						nocerr.ErrWorker, o.shard, shards, attempts[o.shard], o.err)
+					cancel()
+				} else {
+					pending = append(pending, o.shard)
+				}
+			}
+		case <-ctxDone:
+			// Stop assigning; in-flight shards drain cooperatively
+			// through runShard's cancellation path. Nil the channel so a
+			// closed Done cannot spin this loop.
+			interrupted = true
+			ctxDone = nil
+		}
+	}
+	for _, ch := range feed {
+		close(ch)
+	}
+	wg.Wait()
+
+	if fatal != nil {
+		return nil, fatal
+	}
+	rep, err := MergeShards(grid, reports...)
+	if err != nil {
+		return nil, err
+	}
+	if interrupted && ctx.Err() != nil {
+		rep.Canceled = true
+	}
+	return rep, nil
+}
+
+// runShard submits one shard to a worker and polls its job to a terminal
+// state. A failed or malformed submission gets one immediate
+// resubmission, and a failed status poll one immediate re-poll, before
+// the worker is declared dead (dead=true retires the worker; the
+// coordinator requeues the shard elsewhere). On cancellation the
+// worker-side job is canceled and its partial report drained.
+func (d *Sharded) runShard(ctx context.Context, worker string, grid Grid, shard, shards int, opts Options) (rep *Report, dead bool, err error) {
+	req := shardRequest{
+		Grid:     grid,
+		Simulate: opts.Simulate,
+		Sim:      opts.Sim,
+		Parallel: d.WorkerParallel,
+	}
+	req.Options.VCLimit = opts.VCLimit
+	req.Options.FullRebuild = opts.FullRebuild
+	req.Options.Policy = policyWire(opts.Policy)
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, false, err
+	}
+
+	id, err := d.submit(ctx, worker, shard, shards, body)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, false, fmt.Errorf("%w: %w", nocerr.ErrCanceled, ctx.Err())
+		}
+		// One immediate retry absorbs a transient hiccup; a second
+		// failure retires the worker.
+		if id, err = d.submit(ctx, worker, shard, shards, body); err != nil {
+			return nil, true, fmt.Errorf("worker %s: submit shard %d/%d: %w", worker, shard, shards, err)
+		}
+	}
+
+	pollFailures := 0
+	for {
+		st, err := d.jobStatus(ctx, worker, id)
+		if err != nil {
+			if ctx.Err() != nil {
+				return d.drain(worker, id)
+			}
+			// Absorb one poll hiccup (the job keeps running server-side);
+			// two consecutive failures retire the worker.
+			if pollFailures++; pollFailures > 1 {
+				return nil, true, fmt.Errorf("worker %s: poll shard %d/%d: %w", worker, shard, shards, err)
+			}
+			select {
+			case <-time.After(d.pollInterval()):
+			case <-ctx.Done():
+				return d.drain(worker, id)
+			}
+			continue
+		}
+		pollFailures = 0
+		switch st.State {
+		case "done":
+			rep, err := decodeShardReport(st.Result)
+			if err != nil {
+				return nil, true, fmt.Errorf("worker %s: shard %d/%d result: %w", worker, shard, shards, err)
+			}
+			return rep, false, nil
+		case "failed":
+			return nil, false, fmt.Errorf("worker %s: shard %d/%d failed: %s", worker, shard, shards, st.Error)
+		case "canceled":
+			// Canceled server-side (shutdown, operator): whatever partial
+			// result exists still merges; missing cells surface as
+			// canceled slots.
+			rep, _ := decodeShardReport(st.Result)
+			if rep != nil {
+				rep.Canceled = true
+			}
+			return rep, false, nil
+		}
+		select {
+		case <-time.After(d.pollInterval()):
+		case <-ctx.Done():
+			return d.drain(worker, id)
+		}
+	}
+}
+
+// drain is the cancellation path of runShard: cancel the worker-side job
+// and poll (off the run context, bounded by DrainTimeout) until it goes
+// terminal, so the partial shard report is not lost. A worker that
+// cannot be drained simply contributes nothing — its cells merge as
+// canceled slots.
+func (d *Sharded) drain(worker, id string) (*Report, bool, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), d.drainTimeout())
+	defer cancel()
+	creq, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+"/v1/jobs/"+id+"/cancel", nil)
+	if err != nil {
+		return nil, false, nil
+	}
+	if resp, err := d.client().Do(creq); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	for {
+		st, err := d.jobStatus(ctx, worker, id)
+		if err != nil {
+			return nil, false, nil
+		}
+		switch st.State {
+		case "done", "failed", "canceled":
+			rep, _ := decodeShardReport(st.Result)
+			if rep != nil && st.State != "done" {
+				rep.Canceled = true
+			}
+			return rep, false, nil
+		}
+		select {
+		case <-time.After(d.pollInterval()):
+		case <-ctx.Done():
+			return nil, false, nil
+		}
+	}
+}
+
+// submit POSTs the shard's sweep request and returns the accepted job ID.
+func (d *Sharded) submit(ctx context.Context, worker string, shard, shards int, body []byte) (string, error) {
+	url := fmt.Sprintf("%s/v1/sweep?shard=%d/%d", strings.TrimSuffix(worker, "/"), shard, shards)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := d.client().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	var accepted struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &accepted); err != nil || accepted.ID == "" {
+		return "", fmt.Errorf("malformed submit response %q", truncateBody(data))
+	}
+	return accepted.ID, nil
+}
+
+// jobStatus fetches one job-status document.
+func (d *Sharded) jobStatus(ctx context.Context, worker, id string) (*wireStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimSuffix(worker, "/")+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := d.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, truncateBody(data))
+	}
+	var st wireStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("malformed status response %q", truncateBody(data))
+	}
+	return &st, nil
+}
+
+// decodeShardReport parses a sweep job's result document.
+func decodeShardReport(raw json.RawMessage) (*Report, error) {
+	if len(raw) == 0 || string(raw) == "null" {
+		return nil, nil
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("malformed report %q", truncateBody(raw))
+	}
+	return &rep, nil
+}
+
+// truncateBody keeps error messages readable when a worker answers with
+// a large or binary body.
+func truncateBody(b []byte) string {
+	const keep = 160
+	if len(b) <= keep {
+		return string(b)
+	}
+	return string(b[:keep]) + "…"
+}

@@ -31,4 +31,9 @@ var (
 	// ErrNotFound reports a lookup miss: unknown benchmark names, unknown
 	// serve job IDs.
 	ErrNotFound = errors.New("not found")
+
+	// ErrWorker reports a sharded-sweep worker failure the dispatcher
+	// could not absorb: a shard exhausted its retry budget, or every
+	// worker died with cells still unassigned.
+	ErrWorker = errors.New("worker failure")
 )

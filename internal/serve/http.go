@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 
 	nocdr "github.com/nocdr/nocdr"
 	"github.com/nocdr/nocdr/internal/nocerr"
@@ -117,6 +119,33 @@ type sweepRequest struct {
 	Sim      nocdr.SimParams `json:"sim"`
 	// Parallel overrides the server's per-sweep runner worker count.
 	Parallel int `json:"parallel"`
+	// Options carries the per-cell removal policy, so a sharded
+	// coordinator can forward its full configuration and keep shard
+	// results byte-identical to a local run.
+	Options struct {
+		VCLimit     int    `json:"vc_limit"`
+		FullRebuild bool   `json:"full_rebuild"`
+		Policy      string `json:"policy"` // "", "best", "forward", "backward"
+	} `json:"options"`
+}
+
+// parseShard resolves the ?shard=i/n query filter of /v1/sweep. An empty
+// spec means unsharded.
+func parseShard(spec string) (index, count int, err error) {
+	if spec == "" {
+		return 0, 0, nil
+	}
+	i, n, ok := strings.Cut(spec, "/")
+	if ok {
+		index, err = strconv.Atoi(i)
+		if err == nil {
+			count, err = strconv.Atoi(n)
+		}
+	}
+	if !ok || err != nil || count < 1 || index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("%w: malformed shard filter %q (want i/n with 0 <= i < n)", nocerr.ErrInvalidInput, spec)
+	}
+	return index, count, nil
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -128,15 +157,39 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	shardIndex, shardCount, err := parseShard(r.URL.Query().Get("shard"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	extra := []nocdr.Option{
+		nocdr.WithVCLimit(req.Options.VCLimit),
+		nocdr.WithFullRebuild(req.Options.FullRebuild),
+	}
+	switch req.Options.Policy {
+	case "", "best":
+		extra = append(extra, nocdr.WithPolicy(nocdr.BestOfBoth))
+	case "forward":
+		extra = append(extra, nocdr.WithPolicy(nocdr.ForwardOnly))
+	case "backward":
+		extra = append(extra, nocdr.WithPolicy(nocdr.BackwardOnly))
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: unknown policy %q", nocerr.ErrInvalidInput, req.Options.Policy))
+		return
+	}
+	if req.Parallel > 0 {
+		extra = append(extra, nocdr.WithParallel(req.Parallel))
+	}
 	s.enqueue(w, "sweep", func(ctx context.Context, j *Job) (any, error) {
-		var extra []nocdr.Option
-		if req.Parallel > 0 {
-			extra = append(extra, nocdr.WithParallel(req.Parallel))
-		}
 		sess := s.session(j, extra...)
 		// A canceled sweep still returns its partial report; runJob
 		// stores it alongside the canceled state.
-		return sess.Sweep(ctx, req.Grid, nocdr.SweepOptions{Simulate: req.Simulate, Sim: req.Sim})
+		return sess.Sweep(ctx, req.Grid, nocdr.SweepOptions{
+			Simulate:   req.Simulate,
+			Sim:        req.Sim,
+			ShardIndex: shardIndex,
+			ShardCount: shardCount,
+		})
 	})
 }
 

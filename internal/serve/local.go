@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/nocdr/nocdr/internal/nocerr"
+)
+
+// LocalCluster starts n job Servers, each behind its own loopback HTTP
+// listener, and returns their base URLs plus a shutdown function — the
+// single-machine backing for `nocexp sweep -shard-local N` and for
+// in-process sharded-sweep tests. Every worker gets the same Options;
+// size SweepParallel so n workers together match the machine (e.g.
+// NumCPU/n) rather than oversubscribing it. Shutdown cancels in-flight
+// jobs, closes the listeners, and drains the pools.
+func LocalCluster(n int, opts Options) (urls []string, shutdown func(), err error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("%w: local cluster size %d", nocerr.ErrInvalidInput, n)
+	}
+	servers := make([]*Server, 0, n)
+	https := make([]*http.Server, 0, n)
+	shutdown = func() {
+		// Cancel before Shutdown: SSE handlers only end when their job
+		// goes terminal (see cmd/nocdr's serve shutdown ordering).
+		for _, s := range servers {
+			s.Cancel()
+		}
+		for _, hs := range https {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_ = hs.Shutdown(ctx)
+			cancel()
+		}
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			shutdown()
+			return nil, nil, err
+		}
+		srv := New(opts)
+		hs := &http.Server{Handler: srv.Handler()}
+		servers = append(servers, srv)
+		https = append(https, hs)
+		go func() { _ = hs.Serve(l) }()
+		urls = append(urls, "http://"+l.Addr().String())
+	}
+	return urls, shutdown, nil
+}

@@ -432,6 +432,18 @@ func eventPayload(e nocdr.Event) any {
 		}
 	case nocdr.EventSimEpoch:
 		return e.Epoch
+	case nocdr.EventShardAssigned:
+		return map[string]any{
+			"shard":  e.Shard,
+			"shards": e.ShardTotal,
+			"worker": e.Worker,
+		}
+	case nocdr.EventWorkerRetry:
+		return map[string]any{
+			"shard":  e.Shard,
+			"worker": e.Worker,
+			"error":  e.WorkerErr,
+		}
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -517,5 +518,75 @@ func TestSweepJobAdaptiveRouting(t *testing.T) {
 		"grid": map[string]any{"benchmarks": []string{"mesh:4"}, "routings": []string{"zig-zag"}},
 	}, nil); code != http.StatusBadRequest {
 		t.Errorf("unknown routing accepted with status %d", code)
+	}
+}
+
+// TestSweepShardFilter pins the server side of the sharded backend: a
+// ?shard=i/n submission evaluates only the cells the stable hash assigns
+// to shard i, the shards partition the grid exactly, and a malformed or
+// out-of-range filter is rejected at submission.
+func TestSweepShardFilter(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, SweepParallel: 2})
+	grid := map[string]any{
+		"benchmarks":    []string{"D26_media"},
+		"switch_counts": []int{8, 11, 14, 20},
+	}
+	const shards = 2
+	seen := map[string]int{}
+	total := 0
+	for i := 0; i < shards; i++ {
+		var sub submitResponse
+		code := postJSON(t, fmt.Sprintf("%s/v1/sweep?shard=%d/%d", ts.URL, i, shards), map[string]any{"grid": grid}, &sub)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit shard %d: status %d", i, code)
+		}
+		st := waitTerminal(t, ts.URL, sub.ID)
+		if st.State != StateDone {
+			t.Fatalf("shard %d state %s error %q", i, st.State, st.Error)
+		}
+		data, _ := json.Marshal(st.Result)
+		var rep nocdr.SweepReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rep.Results {
+			seen[r.Job.Key()]++
+		}
+		total += len(rep.Results)
+	}
+	if total != 4 {
+		t.Fatalf("shards hold %d cells together, want the grid's 4", total)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("cell %q appeared in %d shards", k, n)
+		}
+	}
+	for _, bad := range []string{"x", "2/2", "-1/2", "1", "1/0", "1/2/3"} {
+		if code := postJSON(t, ts.URL+"/v1/sweep?shard="+bad, map[string]any{"grid": grid}, nil); code != http.StatusBadRequest {
+			t.Errorf("shard filter %q accepted with status %d", bad, code)
+		}
+	}
+}
+
+// TestLocalCluster smokes the in-process worker cluster: every worker
+// answers /healthz, and shutdown is idempotent enough to call once.
+func TestLocalCluster(t *testing.T) {
+	urls, shutdown, err := LocalCluster(3, Options{Workers: 1, SweepParallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	if len(urls) != 3 {
+		t.Fatalf("got %d workers, want 3", len(urls))
+	}
+	for _, u := range urls {
+		var health map[string]string
+		if code := getJSON(t, u+"/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
+			t.Fatalf("worker %s unhealthy: %d %v", u, code, health)
+		}
+	}
+	if _, _, err := LocalCluster(0, Options{}); err == nil {
+		t.Fatal("zero-size cluster accepted")
 	}
 }

@@ -47,6 +47,7 @@ type Session struct {
 	routings      []string
 	faults        int
 	maxPaths      int
+	workers       []string
 	progress      func(Event)
 	onBreak       func(BreakRecord) // legacy RemovalOptions.OnBreak passthrough
 }
@@ -85,8 +86,11 @@ func WithSelection(c CycleSelection) Option { return func(s *Session) { s.select
 // kept for differential comparisons).
 func WithFullRebuild(on bool) Option { return func(s *Session) { s.fullRebuild = on } }
 
-// WithParallel sets Sweep's worker count (default 1 = serial). Any value
-// produces a byte-identical report; this only changes wall-clock time.
+// WithParallel sets Sweep's in-process worker count (default 1 =
+// serial). Any value produces a byte-identical report; this only changes
+// wall-clock time. It does not apply to WithWorkers dispatch, where each
+// remote worker's own configuration (serve Options.SweepParallel)
+// governs its pool.
 func WithParallel(n int) Option { return func(s *Session) { s.parallel = n } }
 
 // WithRouting sets Sweep's default routing-function axis for
@@ -107,6 +111,18 @@ func WithFaults(n int) Option { return func(s *Session) { s.faults = n } }
 // WithMaxPaths caps candidate paths per flow for adaptive sweep cells
 // (0 = the library default).
 func WithMaxPaths(n int) Option { return func(s *Session) { s.maxPaths = n } }
+
+// WithWorkers makes Sweep dispatch the grid across running `nocdr serve`
+// workers at the given base URLs instead of evaluating cells in-process:
+// cells are cut into shards by a stable hash of their identity, shards
+// fan out over the /v1/sweep job API (requeued onto survivors if a
+// worker dies), and the merged report is byte-identical to a local run
+// of the same grid. The progress feed carries EventShardAssigned and
+// EventWorkerRetry instead of in-process removal events; completed cells
+// still emit EventSweepCell as their shard reports arrive.
+func WithWorkers(urls ...string) Option {
+	return func(s *Session) { s.workers = append([]string(nil), urls...) }
+}
 
 // WithProgress streams the Session's Event feed to fn: cycle breaks and
 // VC additions during removal, cell completions during sweeps, epoch
@@ -267,18 +283,44 @@ func (s *Session) Sweep(ctx context.Context, grid SweepGrid, opts SweepOptions) 
 		FullRebuild: s.fullRebuild,
 		Simulate:    opts.Simulate,
 		Sim:         opts.Sim,
+		ShardIndex:  opts.ShardIndex,
+		ShardCount:  opts.ShardCount,
 	}
 	if s.progress != nil {
 		ropts.OnResult = func(i, total int, res SweepResult) {
 			s.progress(Event{Kind: EventSweepCell, CellIndex: i, CellTotal: total, Cell: &res})
 		}
 	}
-	rep, err := runner.RunContext(ctx, grid, ropts)
+	var rep *SweepReport
+	var err error
+	if len(s.workers) > 0 {
+		if opts.ShardCount != 0 {
+			return nil, wrapErr(fmt.Errorf("%w: WithWorkers and a SweepOptions shard filter are mutually exclusive", nocerr.ErrInvalidInput))
+		}
+		ropts.ShardIndex, ropts.ShardCount = 0, 0
+		sh := &runner.Sharded{Workers: s.workers}
+		if s.progress != nil {
+			sh.OnAssign = func(shard, shards int, worker string) {
+				s.progress(Event{Kind: EventShardAssigned, Shard: shard, ShardTotal: shards, Worker: worker})
+			}
+			sh.OnRetry = func(shard int, worker string, failure error) {
+				s.progress(Event{Kind: EventWorkerRetry, Shard: shard, Worker: worker, WorkerErr: failure.Error()})
+			}
+		}
+		rep, err = sh.RunContext(ctx, grid, ropts)
+	} else {
+		rep, err = runner.RunContext(ctx, grid, ropts)
+	}
 	if err != nil {
 		return nil, wrapErr(err)
 	}
 	if rep.Canceled {
-		return rep, fmt.Errorf("%w: sweep interrupted, partial report retained: %w", nocerr.ErrCanceled, ctx.Err())
+		if ctx.Err() != nil {
+			return rep, fmt.Errorf("%w: sweep interrupted, partial report retained: %w", nocerr.ErrCanceled, ctx.Err())
+		}
+		// A sharded sweep can come back partial without this ctx firing:
+		// a worker-side job was canceled (operator, worker shutdown).
+		return rep, fmt.Errorf("%w: sweep interrupted on a worker, partial report retained", nocerr.ErrCanceled)
 	}
 	return rep, nil
 }

@@ -1,0 +1,73 @@
+package nocdr_test
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	nocdr "github.com/nocdr/nocdr"
+	"github.com/nocdr/nocdr/internal/serve"
+)
+
+// TestSessionWithWorkersMatchesLocal pins the Session face of the
+// sharded backend: a Sweep dispatched over a local worker cluster must
+// produce the same bytes as the in-process run, and the progress feed
+// must carry the shard-assignment and per-cell events.
+func TestSessionWithWorkersMatchesLocal(t *testing.T) {
+	urls, shutdown, err := serve.LocalCluster(2, serve.Options{Workers: 2, SweepParallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	grid := nocdr.SweepGrid{
+		Benchmarks: []string{"mesh:4"},
+		Routings:   []string{"west-first", "odd-even"},
+		Seeds:      []int64{0, 1},
+	}
+	ctx := context.Background()
+	local, err := nocdr.NewSession(nocdr.WithParallel(4)).Sweep(ctx, grid, nocdr.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	counts := map[nocdr.EventKind]int{}
+	sess := nocdr.NewSession(
+		nocdr.WithWorkers(urls...),
+		nocdr.WithProgress(func(e nocdr.Event) {
+			mu.Lock()
+			counts[e.Kind]++
+			mu.Unlock()
+		}),
+	)
+	remote, err := sess.Sweep(ctx, grid, nocdr.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var a, b bytes.Buffer
+	if err := local.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("WithWorkers sweep differs from local:\nlocal:\n%s\nworkers:\n%s", a.String(), b.String())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if counts[nocdr.EventShardAssigned] == 0 {
+		t.Error("no shard_assigned events on the progress feed")
+	}
+	if got := counts[nocdr.EventSweepCell]; got != len(remote.Results) {
+		t.Errorf("sweep_cell events %d, want one per cell (%d)", got, len(remote.Results))
+	}
+
+	// A shard filter cannot ride along with WithWorkers.
+	if _, err := sess.Sweep(ctx, grid, nocdr.SweepOptions{ShardCount: 2}); err == nil {
+		t.Error("WithWorkers accepted a nested shard filter")
+	}
+}

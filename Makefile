@@ -11,7 +11,7 @@ FUZZ_PKGS ?= ./...
 # Minimum total statement coverage accepted by the cover gate.
 COVER_MIN ?= 70
 
-.PHONY: build test race bench bench-pin fmt vet lint vulncheck cover fuzz-smoke sweep-smoke sweep-smoke-sharded deep-sweep examples ci
+.PHONY: build test race bench bench-pin fmt vet lint vulncheck cover fuzz-smoke sweep-smoke sweep-smoke-sharded deep-sweep reconfigure-smoke deep-reconfigure examples ci
 
 build:
 	$(GO) build ./...
@@ -28,11 +28,14 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # The pinned perf-gate benchmarks: simulator hot loop, removal runtime,
-# and the Session-API overhead twin (which must track BenchmarkRemoval_
-# within ~2%), repeated so benchstat can establish significance. CI runs
-# this on the PR head and base and fails on a >15% sec/op regression.
+# the Session-API overhead twin (which must track BenchmarkRemoval_
+# within ~2%), and the reconfiguration delta-vs-cold pair (the delta
+# path's whole reason to exist is being much cheaper than a from-scratch
+# removal, so a regression there is a product regression), repeated so
+# benchstat can establish significance. CI runs this on the PR head and
+# base and fails on a >15% sec/op regression.
 bench-pin:
-	$(GO) test -run='^$$' -bench='^(BenchmarkSimStep$$|BenchmarkRemoval_|BenchmarkSessionOverhead$$)' \
+	$(GO) test -run='^$$' -bench='^(BenchmarkSimStep$$|BenchmarkRemoval_|BenchmarkSessionOverhead$$|BenchmarkReconfigure_)' \
 		-count=6 -benchtime=0.5s . | tee $(BENCH_OUT)
 
 fmt:
@@ -111,6 +114,36 @@ deep-sweep:
 		-routing west-first,north-last,negative-first,odd-even,min-adaptive \
 		-seeds 0,1 -quiet -shard-local 4 -json deep-sweep-report.json
 
+# Online-reconfiguration smoke: build an 8x8 odd-even design bundle,
+# then inject two seeded link faults one at a time through the live
+# reconfigure path. The gate lives in the tool: `nocexp reconfigure`
+# exits non-zero if any delta leaves a cyclic CDG, if the drain
+# simulation deadlocks, or if the final design fails verification.
+# -differential additionally runs a from-scratch removal on the faulted
+# design and prints both VC counts next to each other in the log.
+reconfigure-smoke:
+	$(GO) run ./cmd/nocexp design -preset mesh:8x8 -routing odd-even \
+		-traffic all-to-all -out reconfig-design.json
+	$(GO) run ./cmd/nocexp reconfigure -design reconfig-design.json \
+		-fault-count 2 -fault-seed 1 -differential \
+		-out reconfig-after.json -delta reconfig-deltas.json
+
+# The nightly reconfiguration surface: mesh and torus 8x8 under three
+# turn models, each hit with a bounded fault storm (sequential seeded
+# faults, re-verified after every event, until no connectivity-
+# preserving fault remains or the bound is reached). Every event runs
+# the full commit protocol including the drain simulation.
+deep-reconfigure:
+	@for preset in mesh:8x8 torus:8x8; do \
+		for routing in west-first north-last odd-even; do \
+			echo "== deep-reconfigure $$preset $$routing"; \
+			$(GO) run ./cmd/nocexp design -preset $$preset -routing $$routing \
+				-traffic all-to-all -out deep-reconfig-design.json || exit 1; \
+			$(GO) run ./cmd/nocexp reconfigure -design deep-reconfig-design.json \
+				-storm -storm-max 12 -quiet || exit 1; \
+		done; \
+	done
+
 # FUZZTIME per fuzz target across every package of FUZZ_PKGS that
 # defines one (PR tier: 10s smoke over ./...; nightly: 5m per package).
 fuzz-smoke:
@@ -139,4 +172,4 @@ examples-run:
 serve-smoke:
 	./scripts/serve-smoke.sh
 
-ci: build vet fmt lint vulncheck race cover examples sweep-smoke sweep-smoke-sharded
+ci: build vet fmt lint vulncheck race cover examples sweep-smoke sweep-smoke-sharded reconfigure-smoke

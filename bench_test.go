@@ -18,8 +18,11 @@ import (
 	"github.com/nocdr/nocdr/internal/bench/runner"
 	"github.com/nocdr/nocdr/internal/core"
 	"github.com/nocdr/nocdr/internal/ordering"
+	"github.com/nocdr/nocdr/internal/reconfig"
 	"github.com/nocdr/nocdr/internal/regular"
+	"github.com/nocdr/nocdr/internal/route"
 	"github.com/nocdr/nocdr/internal/synth"
+	"github.com/nocdr/nocdr/internal/topology"
 	"github.com/nocdr/nocdr/internal/traffic"
 	"github.com/nocdr/nocdr/internal/updown"
 )
@@ -369,6 +372,95 @@ func BenchmarkRemoveIncremental_128Cores(b *testing.B) { benchScaleMode(b, 128, 
 func BenchmarkRemoveFullRebuild_128Cores(b *testing.B) { benchScaleMode(b, 128, 6, 48, true) }
 func BenchmarkRemoveIncremental_256Cores(b *testing.B) { benchScaleMode(b, 256, 6, 96, false) }
 func BenchmarkRemoveFullRebuild_256Cores(b *testing.B) { benchScaleMode(b, 256, 6, 96, true) }
+
+// --- Online reconfiguration: single-fault delta replay vs from-scratch
+// removal of the faulted grid. Same end state (acyclic, verified by the
+// differential tests); the ratio is the point of the online path — the
+// delta must be at least ~2x faster on the 10x10 grid, and the benchstat
+// perf gate pins both sides. ---
+
+func benchReconfigDesign(b *testing.B, cols, rows int) (*reconfig.Design, topology.LinkID) {
+	g, err := regular.Mesh(cols, rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := cols * rows
+	tr := traffic.NewGraph("all2all")
+	for i := 0; i < n; i++ {
+		tr.AddCore("")
+	}
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				tr.MustAddFlow(traffic.CoreID(s), traffic.CoreID(d), 10)
+			}
+		}
+	}
+	// Minimal-adaptive routing gives the base design a genuinely cyclic
+	// union CDG, so the pre-fault removal does real work — which is
+	// exactly what the warm path reuses and the cold baseline re-pays.
+	// (A turn-model base is acyclic by construction: both paths would
+	// only ever break the fault's own cycles, and the ratio would
+	// measure nothing.)
+	d, _, err := reconfig.New(g, tr, route.MinimalAdaptive, 2, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults, err := regular.SelectFaults(g, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, faults[0]
+}
+
+func benchReconfigDelta(b *testing.B, cols, rows int) {
+	d, fault := benchReconfigDesign(b, cols, rows)
+	ctx := context.Background()
+	b.ResetTimer()
+	var added int
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := reconfig.NewState(d) // clone + CDG build, outside the timed region
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		delta, err := st.ApplyFault(ctx, fault, reconfig.Options{SkipSim: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		added = delta.VCsAdded
+	}
+	b.ReportMetric(float64(added), "VCs")
+}
+
+func benchReconfigCold(b *testing.B, cols, rows int) {
+	d, fault := benchReconfigDesign(b, cols, rows)
+	ctx := context.Background()
+	st, err := reconfig.NewState(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.ApplyFault(ctx, fault, reconfig.Options{SkipSim: true}); err != nil {
+		b.Fatal(err)
+	}
+	faulted := st.Design()
+	b.ResetTimer()
+	var added int
+	for i := 0; i < b.N; i++ {
+		res, err := reconfig.ColdRemove(ctx, faulted, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		added = res.AddedVCs
+	}
+	b.ReportMetric(float64(added), "VCs")
+}
+
+func BenchmarkReconfigure_Delta8x8(b *testing.B)   { benchReconfigDelta(b, 8, 8) }
+func BenchmarkReconfigure_Cold8x8(b *testing.B)    { benchReconfigCold(b, 8, 8) }
+func BenchmarkReconfigure_Delta10x10(b *testing.B) { benchReconfigDelta(b, 10, 10) }
+func BenchmarkReconfigure_Cold10x10(b *testing.B)  { benchReconfigCold(b, 10, 10) }
 
 // --- Serial vs parallel sweep engine over the full paper grid. ---
 

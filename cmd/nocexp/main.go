@@ -20,12 +20,22 @@
 //	nocexp sweep -benchmarks rand:64x6 -seeds 1,2,3 -switches 16,24,32
 //	nocexp sweep -simulate                    # + flit-level verification per cell
 //	nocexp sweep -simulate -benchmarks torus:8x8:transpose,mesh:4x4:bitrev
+//
+// The design and reconfigure subcommands are the online-reconfiguration
+// pipeline: design writes a removed design bundle, reconfigure evolves it
+// through live link-fault events and reports each event's delta:
+//
+//	nocexp design -preset mesh:8x8 -routing odd-even -out design.json
+//	nocexp reconfigure -design design.json -fault 17          # one event
+//	nocexp reconfigure -design design.json -fault-count 2 -fault-seed 1 -differential
+//	nocexp reconfigure -design design.json -storm -out evolved.json -delta deltas.json
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -36,19 +46,31 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "sweep" {
-		// Ctrl-C / SIGTERM cancel the sweep cooperatively: workers
-		// drain, and the partial JSON report is still written, marked
-		// "canceled": true. A second signal kills the process the
-		// default way (NotifyContext unregisters after the first).
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-		err := runSweep(ctx, os.Args[2:], os.Stdout, os.Stderr)
-		stop()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "nocexp sweep:", err)
-			os.Exit(1)
+	if len(os.Args) > 1 {
+		var sub func(context.Context, []string, io.Writer, io.Writer) error
+		switch os.Args[1] {
+		case "sweep":
+			sub = runSweep
+		case "design":
+			sub = runDesign
+		case "reconfigure":
+			sub = runReconfigure
 		}
-		return
+		if sub != nil {
+			// Ctrl-C / SIGTERM cancel the subcommand cooperatively: sweep
+			// workers drain (the partial JSON report is still written,
+			// marked "canceled": true), reconfigure rolls the in-flight
+			// event back. A second signal kills the process the default
+			// way (NotifyContext unregisters after the first).
+			ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+			err := sub(ctx, os.Args[2:], os.Stdout, os.Stderr)
+			stop()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nocexp %s: %v\n", os.Args[1], err)
+				os.Exit(1)
+			}
+			return
+		}
 	}
 	fig := flag.Int("fig", 0, "regenerate only figure 8, 9, or 10")
 	summaryOnly := flag.Bool("summary", false, "print only the Section 5 scalar claims")

@@ -32,6 +32,16 @@ const (
 	// a worker failure; Event.Shard and Event.Worker identify the failed
 	// attempt, Event.WorkerErr carries the failure.
 	EventWorkerRetry
+	// EventReconfigStage fires on every state transition of an online
+	// reconfiguration (rerouting → replaying → simulating →
+	// committed, or rolled_back); Event.Stage names the stage and
+	// Event.Fault the link being retired. Replay cycle breaks arrive as
+	// ordinary EventCycleBroken/EventVCAdded events between the
+	// rerouting and simulating stages.
+	EventReconfigStage
+	// EventReconfigDelta fires once per committed fault event;
+	// Event.Delta carries the full report.
+	EventReconfigDelta
 )
 
 // String names the kind for logs ("cycle_broken", "vc_added", ...).
@@ -49,6 +59,10 @@ func (k EventKind) String() string {
 		return "shard_assigned"
 	case EventWorkerRetry:
 		return "worker_retry"
+	case EventReconfigStage:
+		return "reconfig_stage"
+	case EventReconfigDelta:
+		return "reconfig_delta"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -122,4 +136,14 @@ type Event struct {
 	// WorkerErr is the failure that triggered a requeue
 	// (EventWorkerRetry).
 	WorkerErr string
+
+	// Stage is the reconfiguration state-machine stage
+	// (EventReconfigStage).
+	Stage string
+	// Fault is the link a reconfiguration is retiring
+	// (EventReconfigStage, EventReconfigDelta).
+	Fault LinkID
+	// Delta is the committed reconfiguration report
+	// (EventReconfigDelta).
+	Delta *ReconfigDelta
 }

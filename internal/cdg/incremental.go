@@ -277,6 +277,35 @@ func routePairs(chs []topology.Channel) [][2]topology.Channel {
 	return out
 }
 
+// CycleFlows returns the ascending union of the flows creating any
+// dependency edge of cycle (consecutive channels, wrapping). Algorithm 2
+// only ever needs these flows — a flow with no edge on the cycle
+// contributes no cost row — so the break hot path uses this instead of
+// scanning the whole route table per cycle.
+func (m *Incremental) CycleFlows(cycle []topology.Channel) []int {
+	n := len(cycle)
+	if n == 0 {
+		return nil
+	}
+	seen := make(map[int]bool)
+	var out []int
+	for i := 0; i < n; i++ {
+		from, okF := m.id[cycle[i]]
+		to, okT := m.id[cycle[(i+1)%n]]
+		if !okF || !okT {
+			continue
+		}
+		for _, f := range m.edgeFlows[[2]int{from, to}] {
+			if !seen[f] {
+				seen[f] = true
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
 // NumChannels returns the number of CDG vertices.
 func (m *Incremental) NumChannels() int { return len(m.chans) }
 

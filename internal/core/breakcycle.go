@@ -29,9 +29,11 @@ type BreakRecord struct {
 //
 // The returned reroutes pair each moved flow's old and new channel
 // sequence so the caller can maintain an incremental CDG without
-// rescanning the route table.
+// rescanning the route table. A non-nil flows restricts the scan for the
+// broken dependency's creators to that candidate subset (ascending IDs;
+// see buildCostTable for the equivalence argument).
 func breakCycle(top *topology.Topology, tab *route.Table, cycle []topology.Channel,
-	edge int, dir Direction, cost int) (*BreakRecord, []cdg.Reroute, error) {
+	edge int, dir Direction, cost int, flows []int) (*BreakRecord, []cdg.Reroute, error) {
 
 	n := len(cycle)
 	from, to := cycle[edge], cycle[(edge+1)%n]
@@ -47,7 +49,7 @@ func breakCycle(top *topology.Topology, tab *route.Table, cycle []topology.Chann
 		lo, hi int
 	}
 	var chains []chain
-	for _, r := range tab.Routes() {
+	scan := func(r *route.Route) {
 		for i := 0; i+1 < len(r.Channels); i++ {
 			if r.Channels[i] != from || r.Channels[i+1] != to {
 				continue
@@ -55,6 +57,17 @@ func breakCycle(top *topology.Topology, tab *route.Table, cycle []topology.Chann
 			lo, hi := chainBounds(dir, r.Channels, i, inCycle)
 			chains = append(chains, chain{flowID: r.FlowID, lo: lo, hi: hi})
 			break // a route cannot repeat a channel, so the edge occurs once
+		}
+	}
+	if flows == nil {
+		for _, r := range tab.Routes() {
+			scan(r)
+		}
+	} else {
+		for _, id := range flows {
+			if r := tab.Route(id); r != nil {
+				scan(r)
+			}
 		}
 	}
 	if len(chains) == 0 {

@@ -27,6 +27,16 @@ type CostTable struct {
 // created by any flow, which would mean the CDG and the route table are
 // out of sync.
 func BuildCostTable(dir Direction, cycle []topology.Channel, tab *route.Table) (*CostTable, error) {
+	return buildCostTable(dir, cycle, tab, nil)
+}
+
+// buildCostTable is BuildCostTable restricted to a candidate flow subset:
+// with flowIDs nil every flow of the table is scanned; otherwise only the
+// given flows (ascending IDs) are considered. The incremental removal path
+// passes the CDG's per-edge flow lists, which contain exactly the flows
+// with a cost row, so both variants build the identical table — only the
+// scan changes from O(all flows) to O(flows on the cycle).
+func buildCostTable(dir Direction, cycle []topology.Channel, tab *route.Table, flowIDs []int) (*CostTable, error) {
 	n := len(cycle)
 	inCycle := make(map[topology.Channel]bool, n)
 	for _, ch := range cycle {
@@ -38,13 +48,24 @@ func BuildCostTable(dir Direction, cycle []topology.Channel, tab *route.Table) (
 	}
 
 	ct := &CostTable{Direction: dir, Cycle: cycle}
-	for _, r := range tab.Routes() {
+	addRow := func(r *route.Route) {
 		row := flowCosts(dir, r, inCycle, edgeIndex, n)
 		if row == nil {
-			continue // flow creates no dependency of this cycle
+			return // flow creates no dependency of this cycle
 		}
 		ct.FlowIDs = append(ct.FlowIDs, r.FlowID)
 		ct.PerFlow = append(ct.PerFlow, row)
+	}
+	if flowIDs == nil {
+		for _, r := range tab.Routes() {
+			addRow(r)
+		}
+	} else {
+		for _, id := range flowIDs {
+			if r := tab.Route(id); r != nil {
+				addRow(r)
+			}
+		}
 	}
 	if len(ct.FlowIDs) == 0 {
 		return nil, fmt.Errorf("core: no flow creates any dependency of cycle %v", cycle)

@@ -210,7 +210,7 @@ func TestSuffixDuplicationReclosesCycle(t *testing.T) {
 // enters the cycle), and the result is acyclic in one step.
 func TestBreakForwardDirection(t *testing.T) {
 	top, tab := paperExample()
-	rec, _, err := breakCycle(top, tab, paperCycle(), 1, Forward, 2)
+	rec, _, err := breakCycle(top, tab, paperCycle(), 1, Forward, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +250,7 @@ func TestBreakForwardDirection(t *testing.T) {
 // duplicates are shared.
 func TestBreakBackwardDirection(t *testing.T) {
 	top, tab := paperExample()
-	rec, _, err := breakCycle(top, tab, paperCycle(), 0, Backward, 2)
+	rec, _, err := breakCycle(top, tab, paperCycle(), 0, Backward, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

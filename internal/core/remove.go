@@ -127,11 +127,20 @@ func (res *Result) applyBreak(cycle []topology.Channel, opts Options, m *cdg.Inc
 	if res.Iterations >= opts.maxIterations() {
 		return fmt.Errorf("%w: cycle remains after %d breaks (MaxIterations reached)", nocerr.ErrCyclicCDG, res.Iterations)
 	}
-	dir, ct, err := chooseBreak(cycle, res.Routes, opts.Policy)
+	// The incremental CDG knows which flows create the cycle's edges;
+	// restricting Algorithm 2 and the break to them turns the per-break
+	// cost from O(all flows) into O(flows on the cycle). The full-rebuild
+	// path (m == nil) keeps the global scan; the differential tests pin
+	// both paths to identical results.
+	var cycleFlows []int
+	if m != nil {
+		cycleFlows = m.CycleFlows(cycle)
+	}
+	dir, ct, err := chooseBreak(cycle, res.Routes, opts.Policy, cycleFlows)
 	if err != nil {
 		return err
 	}
-	rec, reroutes, err := breakCycle(res.Topology, res.Routes, cycle, ct.BestEdge, dir, ct.BestCost)
+	rec, reroutes, err := breakCycle(res.Topology, res.Routes, cycle, ct.BestEdge, dir, ct.BestCost, cycleFlows)
 	if err != nil {
 		return err
 	}
@@ -192,21 +201,23 @@ func selectCycleIncremental(m *cdg.Incremental, sel CycleSelection) []topology.C
 }
 
 // chooseBreak evaluates Algorithm 2 in the allowed directions and picks
-// the cheaper one (forward wins ties, per Algorithm 1 step 7).
-func chooseBreak(cycle []topology.Channel, tab *route.Table, policy DirectionPolicy) (Direction, *CostTable, error) {
+// the cheaper one (forward wins ties, per Algorithm 1 step 7). A non-nil
+// flows restricts the evaluation to that candidate subset (see
+// buildCostTable).
+func chooseBreak(cycle []topology.Channel, tab *route.Table, policy DirectionPolicy, flows []int) (Direction, *CostTable, error) {
 	switch policy {
 	case ForwardOnly:
-		ct, err := BuildCostTable(Forward, cycle, tab)
+		ct, err := buildCostTable(Forward, cycle, tab, flows)
 		return Forward, ct, err
 	case BackwardOnly:
-		ct, err := BuildCostTable(Backward, cycle, tab)
+		ct, err := buildCostTable(Backward, cycle, tab, flows)
 		return Backward, ct, err
 	}
-	fwd, err := BuildCostTable(Forward, cycle, tab)
+	fwd, err := buildCostTable(Forward, cycle, tab, flows)
 	if err != nil {
 		return Forward, nil, err
 	}
-	bwd, err := BuildCostTable(Backward, cycle, tab)
+	bwd, err := buildCostTable(Backward, cycle, tab, flows)
 	if err != nil {
 		return Backward, nil, err
 	}

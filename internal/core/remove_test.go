@@ -320,7 +320,7 @@ func TestCostTableErrorPaths(t *testing.T) {
 	}
 	// breakCycle on a dependency no flow creates: must error.
 	top, tab2 := paperExample()
-	if _, _, err := breakCycle(top, tab2, fake, 0, Forward, 1); err == nil {
+	if _, _, err := breakCycle(top, tab2, fake, 0, Forward, 1, nil); err == nil {
 		t.Error("breakCycle succeeded on nonexistent dependency")
 	}
 }
@@ -339,7 +339,7 @@ func TestChainSharingAcrossFlows(t *testing.T) {
 	// the forward chain at D2... use the paper example and break D1
 	// forward: both F1 and F4 enter at L1, chain length 1, one duplicate.
 	top, tab := paperExample()
-	rec, _, err := breakCycle(top, tab, paperCycle(), 0, Forward, 1)
+	rec, _, err := breakCycle(top, tab, paperCycle(), 0, Forward, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

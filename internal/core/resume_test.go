@@ -1,0 +1,120 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/nocdr/nocdr/internal/cdg"
+	"github.com/nocdr/nocdr/internal/nocerr"
+	"github.com/nocdr/nocdr/internal/route"
+	"github.com/nocdr/nocdr/internal/topology"
+)
+
+// TestResumeMatchesRemoveFromScratch pins that a warm start over a
+// freshly built CDG is exactly the incremental removal: same breaks,
+// same VC count, same final routes. This is the degenerate case of the
+// reconfiguration replay (no perturbation), and it must coincide with
+// RemoveContext byte for byte.
+func TestResumeMatchesRemoveFromScratch(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		top, _, tab := randomSetup(seed, 10, 24)
+		want, err := Remove(top, tab, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		wtop, wtab := top.Clone(), tab.Clone()
+		m, err := cdg.BuildIncremental(wtop, wtab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ResumeContext(context.Background(), wtop, wtab, m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.AddedVCs != want.AddedVCs || got.Iterations != want.Iterations ||
+			got.InitialAcyclic != want.InitialAcyclic {
+			t.Fatalf("seed %d: resume (%d VCs, %d iters) != remove (%d VCs, %d iters)",
+				seed, got.AddedVCs, got.Iterations, want.AddedVCs, want.Iterations)
+		}
+		if !reflect.DeepEqual(got.Breaks, want.Breaks) {
+			t.Fatalf("seed %d: break logs differ", seed)
+		}
+		if !reflect.DeepEqual(got.Routes.Routes(), want.Routes.Routes()) {
+			t.Fatalf("seed %d: final routes differ", seed)
+		}
+		if err := got.Verify(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestResumeMutatesInPlace pins the documented aliasing contract: the
+// Result's Topology and Routes ARE the inputs, not copies.
+func TestResumeMutatesInPlace(t *testing.T) {
+	top, _, tab := randomSetup(3, 8, 20)
+	wtop, wtab := top.Clone(), tab.Clone()
+	m, err := cdg.BuildIncremental(wtop, wtab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ResumeContext(context.Background(), wtop, wtab, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Topology != wtop || res.Routes != wtab {
+		t.Fatal("ResumeContext returned copies; contract is in-place mutation")
+	}
+	if res.Iterations > 0 && wtop.ExtraVCs() == top.ExtraVCs() {
+		t.Fatal("breaks executed but input topology unchanged")
+	}
+}
+
+// TestResumeVCLimit pins that the replay budget counts only the
+// replay's own additions and surfaces ErrVCLimit.
+func TestResumeVCLimit(t *testing.T) {
+	var base *Result
+	var top, tab = (*topology.Topology)(nil), (*route.Table)(nil)
+	for seed := int64(0); seed < 32; seed++ {
+		top, _, tab = randomSetup(seed, 10, 30)
+		b, err := Remove(top, tab, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// VCLimit 0 means unlimited, so we need an input costing ≥ 2 VCs
+		// for AddedVCs-1 to be a real budget.
+		if b.AddedVCs >= 2 {
+			base = b
+			break
+		}
+	}
+	if base == nil {
+		t.Fatal("no seed in range needs ≥ 2 VCs; pick different setup parameters")
+	}
+	wtop, wtab := top.Clone(), tab.Clone()
+	m, err := cdg.BuildIncremental(wtop, wtab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ResumeContext(context.Background(), wtop, wtab, m, Options{VCLimit: base.AddedVCs - 1})
+	if !errors.Is(err, nocerr.ErrVCLimit) {
+		t.Fatalf("err = %v, want ErrVCLimit", err)
+	}
+}
+
+// TestResumeCanceled pins cooperative cancellation.
+func TestResumeCanceled(t *testing.T) {
+	top, _, tab := randomSetup(1, 10, 30)
+	wtop, wtab := top.Clone(), tab.Clone()
+	m, err := cdg.BuildIncremental(wtop, wtab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ResumeContext(ctx, wtop, wtab, m, Options{}); !errors.Is(err, nocerr.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}

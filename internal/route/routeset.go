@@ -149,6 +149,44 @@ func (s *RouteSet) Primary() *Table {
 	return tab
 }
 
+// AppendPath appends one candidate path for a flow without Add's
+// duplicate filtering, growing the set if needed. It is the rebuild half
+// of a flattened-table round trip: online reconfiguration reconstructs a
+// set pseudo-flow by pseudo-flow from a rewritten table, and two
+// candidates that the removal replay rewrote onto the same channel
+// sequence must both survive so pseudo-flow identity stays aligned with
+// the live CDG.
+func (s *RouteSet) AppendPath(flowID int, channels []topology.Channel) {
+	for len(s.paths) <= flowID {
+		s.paths = append(s.paths, nil)
+	}
+	s.paths[flowID] = append(s.paths[flowID], append([]topology.Channel(nil), channels...))
+}
+
+// FlowsThrough returns, in ascending order, the IDs of every flow with
+// at least one candidate path crossing the given physical link on any
+// virtual channel. A fresh fault on that link displaces exactly these
+// flows — they are the reroute set of an online reconfiguration.
+func (s *RouteSet) FlowsThrough(link topology.LinkID) []int {
+	var out []int
+	for f, ps := range s.paths {
+		for _, p := range ps {
+			hit := false
+			for _, c := range p {
+				if c.Link == link {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
+}
+
 // PathRef identifies one candidate path: flow FlowID's Index-th path.
 type PathRef struct {
 	FlowID int

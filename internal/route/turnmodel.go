@@ -222,45 +222,93 @@ func GridRoutes(top *topology.Topology, g *traffic.Graph, gs GridSpec, model Tur
 	adj := sortedAdjacency(top)
 	set := NewRouteSet(g.NumFlows())
 	for _, f := range g.Flows() {
-		src, ok := top.SwitchOf(int(f.Src))
-		if !ok {
-			return nil, fmt.Errorf("route: core %d (flow %d) not attached: %w", f.Src, f.ID, nocerr.ErrInvalidInput)
+		paths, err := flowPaths(top, g, gs, adj, model, maxPaths, f.ID)
+		if err != nil {
+			return nil, err
 		}
-		dst, ok := top.SwitchOf(int(f.Dst))
-		if !ok {
-			return nil, fmt.Errorf("route: core %d (flow %d) not attached: %w", f.Dst, f.ID, nocerr.ErrInvalidInput)
-		}
-		if src == dst {
-			set.Add(f.ID, nil)
+		if paths == nil {
+			set.Add(f.ID, nil) // local flow: cores share a switch
 			continue
-		}
-		var paths [][]topology.Channel
-		if model == DOR {
-			// No escape for DOR: the documented contract is that the
-			// deterministic baseline cannot route around a fault, so a
-			// fault on an XY path is a hard error, not a silent detour.
-			p, err := dorPath(top, gs, src, dst)
-			if err != nil {
-				return nil, fmt.Errorf("route: flow %d (%d→%d) unroutable under %s: %w", f.ID, src, dst, model, err)
-			}
-			paths = [][]topology.Channel{p}
-		} else {
-			paths = enumerateMinimal(top, gs, adj, model, src, dst, maxPaths)
-		}
-		if len(paths) == 0 {
-			// Fault escape: deterministic shortest path over every working
-			// link, turn restrictions waived.
-			p, err := bfsPath(top, adj, src, dst)
-			if err != nil {
-				return nil, fmt.Errorf("route: flow %d (%d→%d) unroutable under %s: %w", f.ID, src, dst, model, err)
-			}
-			paths = [][]topology.Channel{p}
 		}
 		for _, p := range paths {
 			set.Add(f.ID, p)
 		}
 	}
 	return set, nil
+}
+
+// flowPaths computes one flow's candidate paths under the shared
+// GridRoutes semantics: up to maxPaths minimal turn-model paths, BFS
+// escape when faults exhaust them, DOR hard-failing on faults. A nil
+// result with nil error means a local flow (src and dst share a switch);
+// otherwise at least one path is returned.
+func flowPaths(top *topology.Topology, g *traffic.Graph, gs GridSpec, adj [][]topology.LinkID, model TurnModel, maxPaths int, flowID int) ([][]topology.Channel, error) {
+	f := g.Flow(flowID)
+	src, ok := top.SwitchOf(int(f.Src))
+	if !ok {
+		return nil, fmt.Errorf("route: core %d (flow %d) not attached: %w", f.Src, f.ID, nocerr.ErrInvalidInput)
+	}
+	dst, ok := top.SwitchOf(int(f.Dst))
+	if !ok {
+		return nil, fmt.Errorf("route: core %d (flow %d) not attached: %w", f.Dst, f.ID, nocerr.ErrInvalidInput)
+	}
+	if src == dst {
+		return nil, nil
+	}
+	var paths [][]topology.Channel
+	if model == DOR {
+		// No escape for DOR: the documented contract is that the
+		// deterministic baseline cannot route around a fault, so a
+		// fault on an XY path is a hard error, not a silent detour.
+		p, err := dorPath(top, gs, src, dst)
+		if err != nil {
+			return nil, fmt.Errorf("route: flow %d (%d→%d) unroutable under %s: %w", f.ID, src, dst, model, err)
+		}
+		paths = [][]topology.Channel{p}
+	} else {
+		paths = enumerateMinimal(top, gs, adj, model, src, dst, maxPaths)
+	}
+	if len(paths) == 0 {
+		// Fault escape: deterministic shortest path over every working
+		// link, turn restrictions waived.
+		p, err := bfsPath(top, adj, src, dst)
+		if err != nil {
+			return nil, fmt.Errorf("route: flow %d (%d→%d) unroutable under %s: %w", f.ID, src, dst, model, err)
+		}
+		paths = [][]topology.Channel{p}
+	}
+	return paths, nil
+}
+
+// RegenerateFlows recomputes candidate paths for just the given flows —
+// the incremental half of GridRoutes, used by online reconfiguration to
+// reroute only the flows a fresh link fault displaced. Semantics per
+// flow are identical to GridRoutes (same enumeration order, same BFS
+// escape, same DOR hard-error contract), so a full regeneration and a
+// per-flow regeneration of every flow agree path-for-path. The result
+// maps flow ID → candidate paths; a local flow maps to nil. Unknown flow
+// IDs are an error.
+func RegenerateFlows(top *topology.Topology, g *traffic.Graph, gs GridSpec, model TurnModel, maxPaths int, flows []int) (map[int][][]topology.Channel, error) {
+	if gs.Cols < 1 || gs.Rows < 1 || gs.Cols*gs.Rows != top.NumSwitches() {
+		return nil, fmt.Errorf("route: grid %dx%d does not match topology with %d switches: %w",
+			gs.Cols, gs.Rows, top.NumSwitches(), nocerr.ErrInvalidInput)
+	}
+	if maxPaths <= 0 {
+		maxPaths = MaxDefaultPaths
+	}
+	adj := sortedAdjacency(top)
+	out := make(map[int][][]topology.Channel, len(flows))
+	for _, id := range flows {
+		if id < 0 || id >= g.NumFlows() {
+			return nil, fmt.Errorf("route: unknown flow %d: %w", id, nocerr.ErrInvalidInput)
+		}
+		paths, err := flowPaths(top, g, gs, adj, model, maxPaths, id)
+		if err != nil {
+			return nil, err
+		}
+		out[id] = paths
+	}
+	return out, nil
 }
 
 // dorPath walks X then Y, taking the minimal direction per dimension

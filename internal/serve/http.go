@@ -26,6 +26,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/remove", s.handleRemove)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("POST /v1/reconfigure", s.handleReconfigure)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
@@ -258,6 +259,85 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			Deadlocked:       st.Deadlocked,
 			DeadlockCycle:    st.DeadlockCycle,
 			Drained:          st.Drained,
+		}, nil
+	})
+}
+
+// reconfigureRequest is the POST /v1/reconfigure body: a removed design
+// bundle (the `nocexp design` artifact) plus the link faults to apply in
+// order.
+type reconfigureRequest struct {
+	Design  *nocdr.ReconfigDesign `json:"design"`
+	Faults  []int                 `json:"faults"`
+	Options struct {
+		VCLimit       int    `json:"vc_limit"`
+		MaxIterations int    `json:"max_iterations"`
+		Policy        string `json:"policy"`    // "", "best", "forward", "backward"
+		Selection     string `json:"selection"` // "", "smallest", "first"
+		SkipSim       bool   `json:"skip_sim"`
+		SimCycles     int64  `json:"sim_cycles"`
+	} `json:"options"`
+}
+
+// reconfigureResult is a finished reconfigure job's result document: the
+// evolved design plus one delta per committed fault event.
+type reconfigureResult struct {
+	VCsAdded int                    `json:"vcs_added"`
+	Deltas   []*nocdr.ReconfigDelta `json:"deltas"`
+	Design   *nocdr.ReconfigDesign  `json:"design"`
+}
+
+func (s *Server) handleReconfigure(w http.ResponseWriter, r *http.Request) {
+	var req reconfigureRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Design == nil || len(req.Faults) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: design and at least one fault are required", nocerr.ErrInvalidInput))
+		return
+	}
+	opts := []nocdr.Option{
+		nocdr.WithVCLimit(req.Options.VCLimit),
+		nocdr.WithMaxIterations(req.Options.MaxIterations),
+	}
+	switch req.Options.Policy {
+	case "", "best":
+		opts = append(opts, nocdr.WithPolicy(nocdr.BestOfBoth))
+	case "forward":
+		opts = append(opts, nocdr.WithPolicy(nocdr.ForwardOnly))
+	case "backward":
+		opts = append(opts, nocdr.WithPolicy(nocdr.BackwardOnly))
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: unknown policy %q", nocerr.ErrInvalidInput, req.Options.Policy))
+		return
+	}
+	switch req.Options.Selection {
+	case "", "smallest":
+		opts = append(opts, nocdr.WithSelection(nocdr.SmallestFirst))
+	case "first":
+		opts = append(opts, nocdr.WithSelection(nocdr.FirstFound))
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: unknown selection %q", nocerr.ErrInvalidInput, req.Options.Selection))
+		return
+	}
+	faults := make([]nocdr.LinkID, 0, len(req.Faults))
+	for _, f := range req.Faults {
+		faults = append(faults, nocdr.LinkID(f))
+	}
+	ropts := nocdr.ReconfigOptions{SkipSim: req.Options.SkipSim, SimCycles: req.Options.SimCycles}
+	s.enqueue(w, "reconfigure", func(ctx context.Context, j *Job) (any, error) {
+		res, err := s.session(j, opts...).Reconfigure(ctx, req.Design, faults, ropts)
+		if err != nil {
+			return nil, err
+		}
+		vcs := 0
+		for _, d := range res.Deltas {
+			vcs += d.VCsAdded
+		}
+		return reconfigureResult{
+			VCsAdded: vcs,
+			Deltas:   res.Deltas,
+			Design:   res.Design,
 		}, nil
 	})
 }

@@ -12,6 +12,7 @@
 //	POST /v1/remove            topology+routes (+options)    → {"id": ...}
 //	POST /v1/sweep             grid (+simulate/parallel/sim) → {"id": ...}
 //	POST /v1/simulate          topology+traffic+routes+config→ {"id": ...}
+//	POST /v1/reconfigure       design bundle+faults (+options)→ {"id": ...}
 //	GET  /v1/jobs              all job statuses
 //	GET  /v1/jobs/{id}         one job's status (+result when done)
 //	GET  /v1/jobs/{id}/events  Server-Sent Events progress stream
@@ -443,6 +444,16 @@ func eventPayload(e nocdr.Event) any {
 			"shard":  e.Shard,
 			"worker": e.Worker,
 			"error":  e.WorkerErr,
+		}
+	case nocdr.EventReconfigStage:
+		return map[string]any{
+			"stage": e.Stage,
+			"fault": int(e.Fault),
+		}
+	case nocdr.EventReconfigDelta:
+		return map[string]any{
+			"fault": int(e.Fault),
+			"delta": e.Delta,
 		}
 	}
 	return nil

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	nocdr "github.com/nocdr/nocdr"
+	"github.com/nocdr/nocdr/internal/regular"
 )
 
 // ringDesign builds the paper's Figure 1 four-switch ring with its four
@@ -566,6 +567,149 @@ func TestSweepShardFilter(t *testing.T) {
 		if code := postJSON(t, ts.URL+"/v1/sweep?shard="+bad, map[string]any{"grid": grid}, nil); code != http.StatusBadRequest {
 			t.Errorf("shard filter %q accepted with status %d", bad, code)
 		}
+	}
+}
+
+// reconfigDesignJSON builds a removed 4x4 odd-even mesh design bundle
+// (all-to-all traffic) plus two safe sequential faults for it.
+func reconfigDesignJSON(t *testing.T) (json.RawMessage, []int) {
+	t.Helper()
+	tr := nocdr.NewTraffic("all2all_16")
+	for i := 0; i < 16; i++ {
+		tr.AddCore("")
+	}
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			if s != d {
+				tr.MustAddFlow(nocdr.CoreID(s), nocdr.CoreID(d), 10)
+			}
+		}
+	}
+	sess := nocdr.NewSession(nocdr.WithMaxPaths(2))
+	d, err := sess.NewReconfigDesign(context.Background(), 4, 4, false, "odd-even", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := d.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := regular.Mesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults, err := regular.SelectFaults(grid, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ints := make([]int, len(faults))
+	for i, f := range faults {
+		ints[i] = int(f)
+	}
+	return data, ints
+}
+
+// TestReconfigureJobLifecycle submits a two-fault reconfigure job and
+// checks the result document (evolved design + one delta per event) and
+// the reconfig_stage/reconfig_delta entries in the SSE feed.
+func TestReconfigureJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	design, faults := reconfigDesignJSON(t)
+
+	var sub submitResponse
+	code := postJSON(t, ts.URL+"/v1/reconfigure", map[string]any{
+		"design":  design,
+		"faults":  faults,
+		"options": map[string]any{"skip_sim": true},
+	}, &sub)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /v1/reconfigure: status %d", code)
+	}
+	st := waitTerminal(t, ts.URL, sub.ID)
+	if st.State != StateDone {
+		t.Fatalf("job state %s (error %q), want done", st.State, st.Error)
+	}
+	data, err := json.Marshal(st.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr reconfigureResult
+	if err := json.Unmarshal(data, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Deltas) != len(faults) {
+		t.Fatalf("deltas %d, want %d", len(rr.Deltas), len(faults))
+	}
+	if rr.VCsAdded < 0 {
+		t.Fatalf("vcs_added %d < 0", rr.VCsAdded)
+	}
+	for i, d := range rr.Deltas {
+		if !d.Acyclic || d.Fault != faults[i] {
+			t.Fatalf("delta %d: %+v", i, d)
+		}
+	}
+	if rr.Design == nil {
+		t.Fatal("result is missing the evolved design")
+	}
+	if err := rr.Design.Verify(); err != nil {
+		t.Fatalf("evolved design invalid: %v", err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	kinds := map[string]int{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if k, ok := strings.CutPrefix(sc.Text(), "event: "); ok {
+			kinds[k]++
+		}
+	}
+	// Each fault walks rerouting → replaying → simulating (skipped here)
+	// → committed, then reports its delta.
+	if kinds["reconfig_stage"] < 3*len(faults) {
+		t.Fatalf("reconfig_stage events %d, want >= %d (kinds %v)", kinds["reconfig_stage"], 3*len(faults), kinds)
+	}
+	if kinds["reconfig_delta"] != len(faults) {
+		t.Fatalf("reconfig_delta events %d, want %d (kinds %v)", kinds["reconfig_delta"], len(faults), kinds)
+	}
+}
+
+// TestReconfigureRejectsBadInput pins the submission-time error surface.
+func TestReconfigureRejectsBadInput(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	design, faults := reconfigDesignJSON(t)
+	if code := postJSON(t, ts.URL+"/v1/reconfigure", map[string]any{}, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty body accepted: status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/reconfigure", map[string]any{"design": design}, nil); code != http.StatusBadRequest {
+		t.Fatalf("missing faults accepted: status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/reconfigure", map[string]any{
+		"design": design, "faults": faults,
+		"options": map[string]any{"policy": "sideways"},
+	}, nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown policy accepted: status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/reconfigure", map[string]any{
+		"design": design, "faults": faults,
+		"options": map[string]any{"selection": "loudest"},
+	}, nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown selection accepted: status %d", code)
+	}
+	// A fault the design cannot survive (out of range) fails the job, not
+	// the submission — it is a runtime property of the design.
+	var sub submitResponse
+	if code := postJSON(t, ts.URL+"/v1/reconfigure", map[string]any{
+		"design": design, "faults": []int{99999},
+	}, &sub); code != http.StatusAccepted {
+		t.Fatalf("out-of-range fault rejected at submission: status %d", code)
+	}
+	st := waitTerminal(t, ts.URL, sub.ID)
+	if st.State != StateFailed {
+		t.Fatalf("job state %s, want failed", st.State)
 	}
 }
 

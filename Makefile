@@ -11,7 +11,7 @@ FUZZ_PKGS ?= ./...
 # Minimum total statement coverage accepted by the cover gate.
 COVER_MIN ?= 70
 
-.PHONY: build test race bench bench-pin fmt vet lint vulncheck cover fuzz-smoke sweep-smoke sweep-smoke-sharded deep-sweep reconfigure-smoke deep-reconfigure examples ci
+.PHONY: build test race bench bench-pin fmt vet lint vulncheck cover fuzz-smoke sweep-smoke sweep-smoke-sharded deep-sweep deep-loadsweep reconfigure-smoke deep-reconfigure examples ci
 
 build:
 	$(GO) build ./...
@@ -29,13 +29,15 @@ bench:
 
 # The pinned perf-gate benchmarks: simulator hot loop, removal runtime,
 # the Session-API overhead twin (which must track BenchmarkRemoval_
-# within ~2%), and the reconfiguration delta-vs-cold pair (the delta
+# within ~2%), the reconfiguration delta-vs-cold pair (the delta
 # path's whole reason to exist is being much cheaper than a from-scratch
-# removal, so a regression there is a product regression), repeated so
+# removal, so a regression there is a product regression), and the
+# lockstep batch-vs-sequential pair (the batch engine's ≥5x multi-core
+# advantage over 16 independent runs must not erode), repeated so
 # benchstat can establish significance. CI runs this on the PR head and
 # base and fails on a >15% sec/op regression.
 bench-pin:
-	$(GO) test -run='^$$' -bench='^(BenchmarkSimStep$$|BenchmarkRemoval_|BenchmarkSessionOverhead$$|BenchmarkReconfigure_)' \
+	$(GO) test -run='^$$' -bench='^(BenchmarkSimStep$$|BenchmarkRemoval_|BenchmarkSessionOverhead$$|BenchmarkReconfigure_|BenchmarkLockstep)' \
 		-count=6 -benchtime=0.5s . | tee $(BENCH_OUT)
 
 fmt:
@@ -113,6 +115,19 @@ deep-sweep:
 		-benchmarks mesh:8x8:bitrev,mesh:8x8:transpose,mesh:10x10:transpose,torus:8,torus:10 \
 		-routing west-first,north-last,negative-first,odd-even,min-adaptive \
 		-seeds 0,1 -quiet -shard-local 4 -json deep-sweep-report.json
+
+# The nightly load-sweep surface: 8x8 mesh and torus under three turn
+# models, 8 seeds x 5 injection loads per design through the lockstep
+# batch path, producing per-design latency/throughput curves with
+# saturation points in the report. The -loads axis rides the same
+# grouped scheduler the PR-tier sweeps use, so this also soaks the
+# batch engine at nightly scale.
+deep-loadsweep:
+	$(GO) run ./cmd/nocexp sweep -simulate \
+		-benchmarks mesh:8x8:transpose,torus:8:transpose \
+		-routing west-first,odd-even,min-adaptive \
+		-seeds 1,2,3,4,5,6,7,8 -loads 0.1,0.3,0.5,0.7,0.9 \
+		-quiet -json deep-loadsweep-report.json
 
 # Online-reconfiguration smoke: build an 8x8 odd-even design bundle,
 # then inject two seeded link faults one at a time through the live

@@ -495,6 +495,84 @@ func BenchmarkSweepParallel(b *testing.B) {
 	benchSweep(b, workers)
 }
 
+// --- Lockstep batch engine vs sequential single-variant runs: the
+// batch-first Simulate API's reason to exist. Both benchmarks run the
+// identical 16 seed variants of one removed 8x8-mesh design;
+// BenchmarkLockstep_16v dispatches them as one lockstep batch (one
+// construction, per-lane mutable state, lanes fanned across the CPUs)
+// while BenchmarkLockstepSeq_16v runs 16 independent Simulate calls.
+// The speedup target is ≥5x on a multi-core runner (construction
+// sharing plus lane parallelism); the benchstat perf gate pins both
+// sides so neither path regresses silently. ---
+
+const lockstepVariants = 16
+
+func lockstepWorkload(b *testing.B) (*nocdr.Topology, *nocdr.TrafficGraph, *nocdr.RouteTable) {
+	b.Helper()
+	grid, err := nocdr.Mesh(8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := nocdr.UniformTraffic(64, 32, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab, err := nocdr.DORRoutes(grid, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := nocdr.NewSession().RemoveDeadlocks(context.Background(), grid.Topology, tab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Topology, g, res.Routes
+}
+
+func lockstepSpec() nocdr.SimSpec {
+	seeds := make([]int64, lockstepVariants)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	return nocdr.SimSpec{
+		Seeds: seeds,
+		Base:  nocdr.SimConfig{MaxCycles: 1000, LoadFactor: 0.3},
+	}
+}
+
+func BenchmarkLockstep_16v(b *testing.B) {
+	top, g, tab := lockstepWorkload(b)
+	s := nocdr.NewSession(nocdr.WithParallel(runtime.NumCPU()))
+	spec := lockstepSpec()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bs, err := s.SimulateBatch(ctx, top, g, tab, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(bs.Variants) != lockstepVariants {
+			b.Fatalf("got %d variants", len(bs.Variants))
+		}
+	}
+}
+
+func BenchmarkLockstepSeq_16v(b *testing.B) {
+	top, g, tab := lockstepWorkload(b)
+	s := nocdr.NewSession()
+	spec := lockstepSpec()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sd := range spec.Seeds {
+			cfg := spec.Base
+			cfg.Seed = sd
+			if _, err := s.Simulate(ctx, top, g, tab, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // --- Extensions: alternative deadlock-freedom strategies (E12/E13). ---
 
 // BenchmarkExtension_UpDownRouting measures the turn-prohibition

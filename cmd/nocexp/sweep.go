@@ -35,6 +35,8 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	switches := fs.String("switches", "", "comma-separated switch counts (default "+intsCSV(runner.DefaultSwitchCounts)+")")
 	policies := fs.String("policies", "smallest", "comma-separated cycle-selection policies: smallest, first")
 	seeds := fs.String("seeds", "0", "comma-separated seeds for rand benchmark specs")
+	loads := fs.String("loads", "",
+		"comma-separated measurement load factors in (0,1]: with -simulate, additionally measure each cell's post-removal design at every load (one lockstep batch per design) and report per-design latency/throughput curves with a saturation estimate")
 	routing := fs.String("routing", "",
 		"comma-separated routing functions for mesh:/torus: preset cells: "+strings.Join(route.TurnModelNames(), ", ")+" (default dor; synthesized benchmarks always use shortest paths)")
 	faults := fs.Int("faults", 0,
@@ -111,6 +113,12 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	if grid.Seeds, err = parseInt64s(*seeds); err != nil {
 		return fmt.Errorf("-seeds: %w", err)
 	}
+	if grid.Loads, err = parseFloats(*loads); err != nil {
+		return fmt.Errorf("-loads: %w", err)
+	}
+	if len(grid.Loads) > 0 && !*simulate {
+		return fmt.Errorf("-loads requires -simulate (the load sweep measures the simulated designs)")
+	}
 	if len(grid.Jobs()) == 0 {
 		// Backstop for any other way the cross product collapses: never
 		// write a vacuous report and exit 0.
@@ -156,6 +164,11 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	}
 	if *simulate {
 		if err := writeSimSummary(stdout, rep); err != nil {
+			return err
+		}
+	}
+	if len(rep.Curves) > 0 {
+		if err := writeCurveSummary(stdout, rep); err != nil {
 			return err
 		}
 	}
@@ -250,6 +263,38 @@ func writeSimSummary(w io.Writer, rep *runner.Report) error {
 	return err
 }
 
+// writeCurveSummary prints one line per design curve: the swept loads
+// with mean latency and throughput at each, and the estimated saturation
+// point.
+func writeCurveSummary(w io.Writer, rep *runner.Report) error {
+	if _, err := fmt.Fprintf(w, "\nload sweep (%d designs):\n", len(rep.Curves)); err != nil {
+		return err
+	}
+	for _, c := range rep.Curves {
+		id := fmt.Sprintf("%s@%d/%s", c.Benchmark, c.SwitchCount, c.Policy)
+		if c.Routing != "" {
+			id += "/" + c.Routing
+		}
+		if c.Faults > 0 {
+			id += fmt.Sprintf("/f%d", c.Faults)
+		}
+		sat := "none in axis"
+		if c.SaturationLoad > 0 {
+			sat = fmt.Sprintf("%g", c.SaturationLoad)
+		}
+		if _, err := fmt.Fprintf(w, "  %s saturation=%s\n", id, sat); err != nil {
+			return err
+		}
+		for _, p := range c.Points {
+			if _, err := fmt.Fprintf(w, "    load %.3g: latency %.1f (p99 %d) throughput %.3f seeds %d deadlocks %d\n",
+				p.Load, p.AvgLatency, p.P99, p.Throughput, p.Seeds, p.Deadlocks); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 func countErrors(rep *runner.Report) int {
 	n := 0
 	for _, r := range rep.Results {
@@ -278,6 +323,18 @@ func parseInts(s string) ([]int, error) {
 	var out []int
 	for _, p := range splitCSV(s) {
 		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range splitCSV(s) {
+		v, err := strconv.ParseFloat(p, 64)
 		if err != nil {
 			return nil, err
 		}

@@ -228,3 +228,76 @@ func TestSweepShardFlagsExclusive(t *testing.T) {
 		t.Error("negative -shard-local accepted")
 	}
 }
+
+// TestSweepLoadsCurves pins the -loads flag end to end: the JSON report
+// carries per-cell load_sweep points and per-design curves, the stdout
+// summary prints the curve block, and serial vs parallel runs stay
+// byte-identical with the loads axis in play.
+func TestSweepLoadsCurves(t *testing.T) {
+	dir := t.TempDir()
+	serialPath := filepath.Join(dir, "serial.json")
+	parallelPath := filepath.Join(dir, "parallel.json")
+	base := []string{"-benchmarks", "torus:4:transpose", "-seeds", "1,2",
+		"-simulate", "-sim-cycles", "2000", "-sim-load", "0.8", "-loads", "0.2,0.6", "-quiet"}
+	var out bytes.Buffer
+	if err := runSweep(context.Background(), append(base, "-parallel", "1", "-json", serialPath), &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"load sweep (1 designs):", "torus:4:transpose@16", "load 0.2:", "load 0.6:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("curve summary missing %q:\n%s", want, out.String())
+		}
+	}
+	if err := runSweep(context.Background(), append(base, "-parallel", "4", "-json", parallelPath), io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	serial, err := os.ReadFile(serialPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := os.ReadFile(parallelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("serial and parallel load-sweep JSON reports differ")
+	}
+	var rep struct {
+		Results []struct {
+			Sim *struct {
+				LoadSweep []struct {
+					Load float64 `json:"load"`
+				} `json:"load_sweep"`
+			} `json:"sim"`
+		} `json:"results"`
+		Curves []struct {
+			Points         []json.RawMessage `json:"points"`
+			SaturationLoad float64           `json:"saturation_load"`
+		} `json:"curves"`
+	}
+	if err := json.Unmarshal(serial, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(rep.Results))
+	}
+	for i, r := range rep.Results {
+		if r.Sim == nil || len(r.Sim.LoadSweep) != 2 {
+			t.Fatalf("cell %d missing load_sweep points", i)
+		}
+	}
+	if len(rep.Curves) != 1 || len(rep.Curves[0].Points) != 2 {
+		t.Fatalf("unexpected curves in report: %s", serial)
+	}
+
+	// -loads without -simulate must fail fast.
+	if err := runSweep(context.Background(), []string{"-benchmarks", "torus:4:transpose", "-loads", "0.5", "-quiet"},
+		io.Discard, io.Discard); err == nil {
+		t.Error("-loads without -simulate accepted")
+	}
+	// Out-of-range loads must be rejected by grid validation.
+	if err := runSweep(context.Background(), []string{"-benchmarks", "torus:4:transpose", "-simulate", "-loads", "1.5", "-quiet"},
+		io.Discard, io.Discard); err == nil {
+		t.Error("out-of-range -loads accepted")
+	}
+}

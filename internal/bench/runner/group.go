@@ -1,0 +1,207 @@
+package runner
+
+import (
+	"context"
+
+	"github.com/nocdr/nocdr/internal/regular"
+	"github.com/nocdr/nocdr/internal/route"
+)
+
+// groupKey identifies a design: every job with the same key builds the
+// same topology, routes, removal and ordering, so the grouped scheduler
+// evaluates the design once and fans only the simulation stage out
+// across the member cells. The seed participates only when the design
+// itself is seed-dependent (seeded random traffic, seeded fault
+// scenarios); otherwise the seeds axis varies just the injection
+// process and the whole seed column shares one build.
+type groupKey struct {
+	benchmark string
+	switches  int
+	routing   string
+	faults    int
+	policy    string
+	seeded    bool
+	seed      int64
+}
+
+// designDependsOnSeed reports whether the job's design (not just its
+// injection process) varies with the seed: rand: specs synthesize a
+// seeded traffic graph, and faulted preset cells mask a seeded link
+// selection.
+func designDependsOnSeed(job Job) bool {
+	if _, ok := parsePreset(job.Benchmark); ok {
+		return job.Faults > 0
+	}
+	return randSpec.MatchString(job.Benchmark)
+}
+
+func keyOf(job Job) groupKey {
+	k := groupKey{
+		benchmark: job.Benchmark,
+		switches:  job.SwitchCount,
+		routing:   job.Routing,
+		faults:    job.Faults,
+		policy:    job.Policy,
+	}
+	if designDependsOnSeed(job) {
+		k.seeded, k.seed = true, job.Seed
+	}
+	return k
+}
+
+// groupJobs partitions job indices into design groups, in first-appearance
+// order. Seeds are the innermost Jobs axis, so on a full grid each group
+// is a contiguous run of cells; shard-filtered job lists group the same
+// way with fewer members.
+func groupJobs(jobs []Job) [][]int {
+	byKey := map[groupKey]int{}
+	var groups [][]int
+	for i, j := range jobs {
+		k := keyOf(j)
+		gi, ok := byKey[k]
+		if !ok {
+			gi = len(groups)
+			byKey[k] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], i)
+	}
+	return groups
+}
+
+// designBuildHook, when non-nil, observes every design construction the
+// grouped scheduler performs (one call per group). The cache-effectiveness
+// tests hook it to assert an N-seed grid builds each design exactly once.
+var designBuildHook func(Job)
+
+// runGroup evaluates one design group: the design is built once from the
+// group's first member and the simulation stage runs as a lockstep batch
+// across the members' derived seeds (times the measurement loads, when a
+// load sweep is configured). Every failure mode mirrors runJob exactly —
+// each member's Result must be byte-identical to an independent runJob of
+// that cell, which the conformance tests pin differentially.
+func runGroup(ctx context.Context, jobs []Job, members []int, results []Result, opts Options, loads []float64, laneParallel int) {
+	job0 := jobs[members[0]]
+	emit := func(mk func(Job) Result) {
+		for _, i := range members {
+			results[i] = mk(jobs[i])
+		}
+	}
+
+	policy, err := ParsePolicy(job0.Policy)
+	if err != nil {
+		emit(func(j Job) Result { return Result{Job: j, Error: err.Error()} })
+		return
+	}
+	evalOpts := EvalOptions{
+		Selection:   policy,
+		Policy:      opts.Policy,
+		VCLimit:     opts.VCLimit,
+		FullRebuild: opts.FullRebuild,
+		MaxPaths:    opts.maxPaths,
+	}
+
+	if hook := designBuildHook; hook != nil {
+		hook(job0)
+	}
+
+	var de *designEval
+	var cores int
+	failAll := func(err error) {
+		emit(func(j Job) Result {
+			r := Result{Job: j, Cores: cores}
+			return r.fail(err)
+		})
+	}
+	if preset, ok := parsePreset(job0.Benchmark); ok {
+		grid, g, err := preset.build()
+		if err != nil {
+			emit(func(j Job) Result { return Result{Job: j, Error: err.Error()} })
+			return
+		}
+		cores = g.NumCores()
+		model, err := route.ParseTurnModel(job0.Routing)
+		if err != nil {
+			failAll(err)
+			return
+		}
+		if job0.Faults > 0 {
+			// Seeded per-cell fault scenario — the group key carries the
+			// seed for faulted cells, so job0's seed is every member's.
+			ids, err := regular.SelectFaults(grid, job0.Faults, job0.Seed)
+			if err != nil {
+				failAll(err)
+				return
+			}
+			if err := grid.Topology.Fault(ids...); err != nil {
+				failAll(err)
+				return
+			}
+		}
+		if model == route.DOR && job0.Faults == 0 {
+			de, err = buildRegular(ctx, grid, g, evalOpts)
+		} else {
+			de, err = buildAdaptive(ctx, grid, g, model, evalOpts)
+		}
+		if err != nil {
+			failAll(err)
+			return
+		}
+	} else {
+		g, err := resolveBenchmark(job0.Benchmark, job0.Seed)
+		if err != nil {
+			emit(func(j Job) Result { return Result{Job: j, Error: err.Error()} })
+			return
+		}
+		cores = g.NumCores()
+		if job0.SwitchCount > cores {
+			emit(func(j Job) Result { return Result{Job: j, Cores: cores, Skipped: true} })
+			return
+		}
+		de, err = buildSynth(ctx, g, job0.SwitchCount, evalOpts)
+		if err != nil {
+			failAll(err)
+			return
+		}
+	}
+
+	base := Result{Cores: cores}
+	base.Links = de.point.Links
+	base.MaxRouteLen = de.point.MaxRouteLen
+	base.InitialAcyclic = de.point.InitialAcyclic
+	base.RemovalVCs = de.point.RemovalVCs
+	base.OrderingVCs = de.point.OrderingVCs
+	base.Breaks = de.point.Breaks
+	base.Paths = de.point.Paths
+	// The removal ran once for the whole group; every member reports its
+	// wall-clock (timings are progress-only and never serialized).
+	base.RemovalTime = de.point.RemovalTime
+
+	if !opts.Simulate {
+		emit(func(j Job) Result {
+			r := base
+			r.Job = j
+			return r
+		})
+		return
+	}
+
+	// Derive the per-cell simulation seeds from the job seeds so the
+	// seeds axis varies the injection process even on deterministic
+	// benchmarks — the same derivation runJob uses.
+	seeds := make([]int64, len(members))
+	for k, i := range members {
+		seeds[k] = opts.Sim.Seed + jobs[i].Seed + 1
+	}
+	sims, err := de.simEvalBatch(ctx, opts.Sim, seeds, loads, laneParallel)
+	if err != nil {
+		failAll(err)
+		return
+	}
+	for k, i := range members {
+		r := base
+		r.Job = jobs[i]
+		r.Sim = sims[k]
+		results[i] = r
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"regexp"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -74,6 +75,15 @@ type Grid struct {
 	// MaxPaths caps candidate paths per flow for adaptive routings
 	// (0 = route.MaxDefaultPaths).
 	MaxPaths int `json:"max_paths,omitempty"`
+	// Loads is the measurement load-sweep axis, values in (0, 1]. When
+	// set (and the run simulates), every cell additionally measures the
+	// post-removal design at each load, the per-cell points land in
+	// SimResult.LoadSweep, and the report gains per-design
+	// latency/throughput curves with a saturation estimate. It does not
+	// change the cell's canonical measurement at Sim.Load, so reports
+	// stay byte-identical when Loads is unset. The axis is normalized
+	// sorted ascending and deduplicated.
+	Loads []float64 `json:"loads,omitempty"`
 }
 
 // DefaultSwitchCounts is the default sweep axis: the Figure 10 design
@@ -92,6 +102,17 @@ func (g Grid) normalized() Grid {
 	}
 	if len(g.Seeds) == 0 {
 		g.Seeds = []int64{0}
+	}
+	if len(g.Loads) > 0 {
+		ls := append([]float64(nil), g.Loads...)
+		sort.Float64s(ls)
+		dst := ls[:1]
+		for _, l := range ls[1:] {
+			if l != dst[len(dst)-1] {
+				dst = append(dst, l)
+			}
+		}
+		g.Loads = dst
 	}
 	return g
 }
@@ -161,6 +182,12 @@ func (g Grid) Validate() error {
 	if n.MaxPaths < 0 {
 		return fmt.Errorf("runner: negative max-paths %d", n.MaxPaths)
 	}
+	for _, l := range n.Loads {
+		// Positive-form check so NaN fails too.
+		if !(l > 0 && l <= 1) {
+			return fmt.Errorf("runner: sweep load %v out of range (0, 1]", l)
+		}
+	}
 	if len(n.SwitchCounts) == 0 {
 		return fmt.Errorf("runner: empty switch-count axis")
 	}
@@ -228,6 +255,12 @@ type Report struct {
 	// every job completed.
 	Canceled bool     `json:"canceled,omitempty"`
 	Results  []Result `json:"results"`
+	// Curves are the per-design load-sweep curves aggregated from the
+	// results' LoadSweep points (only when Grid.Loads was set on a
+	// simulated run). Shard reports omit them; MergeShards recomputes
+	// them over the reassembled results, so serial, parallel and sharded
+	// full reports agree byte for byte.
+	Curves []DesignCurve `json:"curves,omitempty"`
 }
 
 // WriteJSON writes the report as indented JSON. The output is a pure
@@ -316,12 +349,26 @@ func RunContext(ctx context.Context, grid Grid, opts Options) (*Report, error) {
 	results := make([]Result, len(jobs))
 	scheduled := make([]bool, len(jobs))
 
+	// Cells differing only in seed (and, with Grid.Loads, measurement
+	// load) share their entire design build; the scheduler's unit of
+	// work is therefore the design group, not the cell. Each group
+	// builds its design exactly once and fans the per-cell simulations
+	// out as one lockstep batch.
+	groups := groupJobs(jobs)
+
 	workers := opts.Parallel
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	// Split the worker budget between group-level and lane-level
+	// parallelism: with fewer groups than workers, the leftover cores go
+	// to each group's batched lanes.
+	laneParallel := 1
+	if workers > 0 && opts.Parallel/workers > 1 {
+		laneParallel = opts.Parallel / workers
 	}
 
 	var (
@@ -334,19 +381,22 @@ func RunContext(ctx context.Context, grid Grid, opts Options) (*Report, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				results[i] = runJob(ctx, jobs[i], opts)
+			for gi := range idx {
+				members := groups[gi]
+				runGroup(ctx, jobs, members, results, opts, grid.Loads, laneParallel)
 				if opts.Progress != nil || opts.OnResult != nil {
 					// Counter increment and callbacks share the mutex so
 					// the n/total labels stay monotonic on the stream and
 					// OnResult observers never run concurrently.
 					progress.Lock()
-					done++
-					if opts.Progress != nil {
-						fmt.Fprintf(opts.Progress, "sweep %d/%d: %s\n", done, len(jobs), results[i].oneLine())
-					}
-					if opts.OnResult != nil {
-						opts.OnResult(i, len(jobs), results[i])
+					for _, i := range members {
+						done++
+						if opts.Progress != nil {
+							fmt.Fprintf(opts.Progress, "sweep %d/%d: %s\n", done, len(jobs), results[i].oneLine())
+						}
+						if opts.OnResult != nil {
+							opts.OnResult(i, len(jobs), results[i])
+						}
 					}
 					progress.Unlock()
 				}
@@ -354,10 +404,12 @@ func RunContext(ctx context.Context, grid Grid, opts Options) (*Report, error) {
 		}()
 	}
 feed:
-	for i := range jobs {
+	for gi := range groups {
 		select {
-		case idx <- i:
-			scheduled[i] = true
+		case idx <- gi:
+			for _, i := range groups[gi] {
+				scheduled[i] = true
+			}
 		case <-ctx.Done():
 			break feed
 		}
@@ -373,13 +425,18 @@ feed:
 			}
 		}
 	}
+	if opts.ShardCount == 0 {
+		rep.Curves = BuildCurves(rep)
+	}
 	return rep, nil
 }
 
-// runJob evaluates one grid point. All failure modes are folded into the
-// result so one bad point cannot sink a long sweep; a cancellation
-// surfacing from the evaluation marks the result canceled rather than
-// errored.
+// runJob evaluates one grid point in isolation — the per-cell oracle the
+// grouped scheduler is differentially pinned against (each cell of a
+// grouped sweep must be byte-identical to an independent runJob). All
+// failure modes are folded into the result so one bad point cannot sink a
+// long sweep; a cancellation surfacing from the evaluation marks the
+// result canceled rather than errored.
 func runJob(ctx context.Context, job Job, opts Options) Result {
 	res := Result{Job: job}
 	policy, err := ParsePolicy(job.Policy)

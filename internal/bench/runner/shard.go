@@ -92,5 +92,10 @@ func MergeShards(grid Grid, shards ...*Report) (*Report, error) {
 			canceled = true
 		}
 	}
-	return &Report{Grid: grid, Canceled: canceled, Results: results}, nil
+	rep := &Report{Grid: grid, Canceled: canceled, Results: results}
+	// Shard reports never carry curves; the merged report aggregates
+	// them from the reassembled results, exactly as an unsharded
+	// RunContext would.
+	rep.Curves = BuildCurves(rep)
+	return rep, nil
 }

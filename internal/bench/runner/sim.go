@@ -76,6 +76,11 @@ type SimResult struct {
 	// PostThroughput is delivered flits per cycle — the saturation
 	// throughput when Load is 1.
 	PostThroughput float64 `json:"post_throughput_flits_per_cycle"`
+
+	// LoadSweep holds the post-removal design's measurement points over
+	// the grid's Loads axis, ascending by load (only when Grid.Loads was
+	// set — legacy reports never carry the field).
+	LoadSweep []LoadPoint `json:"load_sweep,omitempty"`
 }
 
 // witnessFlits is the packet length of the witness workload's saturated
@@ -285,4 +290,134 @@ func simEval(ctx context.Context, g *traffic.Graph, initialAcyclic bool, params 
 	res.PostP99 = st.LatencyPercentile(99)
 	res.PostThroughput = st.ThroughputFlitsPerCycle()
 	return res, nil
+}
+
+// newBatch builds a lockstep batch over one of the design's two halves.
+func (de *designEval) newBatch(pre bool, w *traffic.Graph, cfg wormhole.Config, vs []wormhole.Variant) (*wormhole.Batch, error) {
+	top, tab, set := de.postTop, de.postTab, de.postSet
+	if pre {
+		top, tab, set = de.preTop, de.preTab, de.preSet
+	}
+	if de.adaptive {
+		return wormhole.NewAdaptiveBatch(top, w, set, cfg, vs)
+	}
+	return wormhole.NewBatch(top, w, tab, cfg, vs)
+}
+
+// simEvalBatch is the batched verification stage: simEval's exact
+// pre-witness → post-witness → measurement sequence, with each stage run
+// as one lockstep batch across the group's per-cell seeds instead of a
+// simulator per cell. Per-cell outcomes are byte-identical to simEval
+// with the same seed (the grouped-sweep differential pins this). When
+// loads is non-empty, the measurement batch additionally carries one
+// lane per (seed, load) pair and the extra points land in each cell's
+// LoadSweep, leaving the canonical params.Load measurement untouched.
+func (de *designEval) simEvalBatch(ctx context.Context, params SimParams, seeds []int64, loads []float64, parallel int) ([]*SimResult, error) {
+	params = params.withDefaults()
+	results := make([]*SimResult, len(seeds))
+	for i := range results {
+		results[i] = &SimResult{}
+	}
+	cfg := wormhole.Config{
+		MaxCycles:   params.Cycles,
+		LoadFactor:  params.Load,
+		BufferDepth: params.BufferDepth,
+		Adaptive:    params.Adaptive,
+	}
+	// One witness lane per seed. A seed of 0 normalizes to the base
+	// config's defaulted seed inside the batch — the same fallback a
+	// zero Config.Seed gets on the per-cell path.
+	witnessVs := make([]wormhole.Variant, len(seeds))
+	for i, s := range seeds {
+		witnessVs[i] = wormhole.Variant{Seed: s}
+	}
+
+	if !de.initialAcyclic {
+		var w *traffic.Graph
+		var nflows int
+		var err error
+		if de.adaptive {
+			w, nflows, err = witnessWorkloadSet(de.g, de.preTop, de.preSet)
+		} else {
+			w, nflows, err = witnessWorkload(de.g, de.preTop, de.preTab)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("runner: witness workload: %w", err)
+		}
+		if w != nil {
+			// See simEval: the witness runs always pin load 1.
+			witnessCfg := cfg
+			witnessCfg.LoadFactor = 1.0
+			pre, err := de.newBatch(true, w, witnessCfg, witnessVs)
+			if err != nil {
+				return nil, fmt.Errorf("runner: pre-removal sim: %w", err)
+			}
+			preStats, err := pre.RunContext(ctx, parallel)
+			if err != nil {
+				return nil, fmt.Errorf("runner: pre-removal sim: %w", err)
+			}
+			postW, err := de.newBatch(false, w, witnessCfg, witnessVs)
+			if err != nil {
+				return nil, fmt.Errorf("runner: post-removal witness sim: %w", err)
+			}
+			wStats, err := postW.RunContext(ctx, parallel)
+			if err != nil {
+				return nil, fmt.Errorf("runner: post-removal witness sim: %w", err)
+			}
+			for i, res := range results {
+				res.PreRan = true
+				res.WitnessFlows = nflows
+				res.PreDeadlock = preStats[i].Deadlocked
+				res.PreDeadlockCycle = preStats[i].DeadlockCycle
+				if wStats[i].Deadlocked {
+					res.PostDeadlock = true
+				}
+			}
+		}
+	}
+
+	// Measurement lanes, seed-major: each seed's canonical params.Load
+	// run followed by its load-sweep points.
+	stride := 1 + len(loads)
+	measureVs := make([]wormhole.Variant, 0, len(seeds)*stride)
+	for _, s := range seeds {
+		measureVs = append(measureVs, wormhole.Variant{Seed: s, Load: params.Load})
+		for _, l := range loads {
+			measureVs = append(measureVs, wormhole.Variant{Seed: s, Load: l})
+		}
+	}
+	postCfg := cfg
+	postCfg.CollectLatencies = true
+	post, err := de.newBatch(false, de.g, postCfg, measureVs)
+	if err != nil {
+		return nil, fmt.Errorf("runner: post-removal sim: %w", err)
+	}
+	stats, err := post.RunContext(ctx, parallel)
+	if err != nil {
+		return nil, fmt.Errorf("runner: post-removal sim: %w", err)
+	}
+	for i, res := range results {
+		st := stats[i*stride]
+		res.PostDeadlock = res.PostDeadlock || st.Deadlocked
+		res.PostDelivered = st.DeliveredPackets
+		res.PostAvgLatency = st.AvgLatency()
+		res.PostP50 = st.LatencyPercentile(50)
+		res.PostP95 = st.LatencyPercentile(95)
+		res.PostP99 = st.LatencyPercentile(99)
+		res.PostThroughput = st.ThroughputFlitsPerCycle()
+		for j, l := range loads {
+			lst := stats[i*stride+1+j]
+			res.LoadSweep = append(res.LoadSweep, LoadPoint{
+				Load:       l,
+				Deadlock:   lst.Deadlocked,
+				Delivered:  lst.DeliveredPackets,
+				AvgLatency: lst.AvgLatency(),
+				P50:        lst.LatencyPercentile(50),
+				P95:        lst.LatencyPercentile(95),
+				P99:        lst.LatencyPercentile(99),
+				Throughput: lst.ThroughputFlitsPerCycle(),
+			})
+		}
+	}
+	return results, nil
 }

@@ -115,7 +115,12 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 
 // sweepRequest is the POST /v1/sweep body.
 type sweepRequest struct {
-	Grid     nocdr.SweepGrid `json:"grid"`
+	Grid nocdr.SweepGrid `json:"grid"`
+	// Seeds/Loads are top-level aliases for grid.seeds/grid.loads,
+	// mirroring the CLI's -seeds/-loads flags; values inside the grid
+	// win when both are present.
+	Seeds    []int64         `json:"seeds"`
+	Loads    []float64       `json:"loads"`
 	Simulate bool            `json:"simulate"`
 	Sim      nocdr.SimParams `json:"sim"`
 	// Parallel overrides the server's per-sweep runner worker count.
@@ -153,6 +158,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req sweepRequest
 	if !decode(w, r, &req) {
 		return
+	}
+	if len(req.Grid.Seeds) == 0 {
+		req.Grid.Seeds = req.Seeds
+	}
+	if len(req.Grid.Loads) == 0 {
+		req.Grid.Loads = req.Loads
 	}
 	if err := req.Grid.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -206,6 +217,15 @@ type simulateRequest struct {
 		BufferDepth    int     `json:"buffer_depth"`
 		Seed           int64   `json:"seed"`
 		EpochCycles    int64   `json:"epoch_cycles"`
+		// Seeds/Loads are the batch axes, named after the CLI's
+		// -seeds/-loads flags. When either is set the job runs the
+		// lockstep batch engine over the Seeds × Loads cross product and
+		// the result document is the batch shape (a "variants" array);
+		// the singular seed/load_factor fields remain the accepted
+		// single-value spelling and seed every lane that does not
+		// override them.
+		Seeds []int64   `json:"seeds"`
+		Loads []float64 `json:"loads"`
 	} `json:"config"`
 }
 
@@ -221,6 +241,35 @@ type simulateResult struct {
 	Deadlocked       bool    `json:"deadlocked"`
 	DeadlockCycle    int64   `json:"deadlock_cycle,omitempty"`
 	Drained          bool    `json:"drained"`
+}
+
+func toSimulateResult(st *nocdr.SimStats) simulateResult {
+	return simulateResult{
+		Cycles:           st.Cycles,
+		InjectedPackets:  st.InjectedPackets,
+		DeliveredPackets: st.DeliveredPackets,
+		DeliveredFlits:   st.DeliveredFlits,
+		AvgLatency:       st.AvgLatency(),
+		MaxLatency:       st.LatencyMax,
+		Throughput:       st.ThroughputFlitsPerCycle(),
+		Deadlocked:       st.Deadlocked,
+		DeadlockCycle:    st.DeadlockCycle,
+		Drained:          st.Drained,
+	}
+}
+
+// variantResult is one lane of a batched simulate job: the normalized
+// (seed, load) tag plus the standard result document.
+type variantResult struct {
+	Seed int64   `json:"seed"`
+	Load float64 `json:"load"`
+	simulateResult
+}
+
+// batchSimulateResult is a finished batched simulate job's result
+// document: one entry per lane in Seeds × Loads order (seed-major).
+type batchSimulateResult struct {
+	Variants []variantResult `json:"variants"`
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -243,23 +292,27 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = 100000
 	}
+	if len(req.Config.Seeds) > 0 || len(req.Config.Loads) > 0 {
+		spec := nocdr.SimSpec{Seeds: req.Config.Seeds, Loads: req.Config.Loads, Base: cfg}
+		s.enqueue(w, "simulate", func(ctx context.Context, j *Job) (any, error) {
+			bs, err := s.session(j).SimulateBatch(ctx, req.Topology, req.Traffic, req.Routes, spec)
+			if err != nil {
+				return nil, err
+			}
+			out := batchSimulateResult{Variants: make([]variantResult, len(bs.Variants))}
+			for i, v := range bs.Variants {
+				out.Variants[i] = variantResult{Seed: v.Seed, Load: v.Load, simulateResult: toSimulateResult(v.Stats)}
+			}
+			return out, nil
+		})
+		return
+	}
 	s.enqueue(w, "simulate", func(ctx context.Context, j *Job) (any, error) {
 		st, err := s.session(j).Simulate(ctx, req.Topology, req.Traffic, req.Routes, cfg)
 		if err != nil {
 			return nil, err
 		}
-		return simulateResult{
-			Cycles:           st.Cycles,
-			InjectedPackets:  st.InjectedPackets,
-			DeliveredPackets: st.DeliveredPackets,
-			DeliveredFlits:   st.DeliveredFlits,
-			AvgLatency:       st.AvgLatency(),
-			MaxLatency:       st.LatencyMax,
-			Throughput:       st.ThroughputFlitsPerCycle(),
-			Deadlocked:       st.Deadlocked,
-			DeadlockCycle:    st.DeadlockCycle,
-			Drained:          st.Drained,
-		}, nil
+		return toSimulateResult(st), nil
 	})
 }
 

@@ -48,6 +48,7 @@ func NewAdaptive(top *topology.Topology, g *traffic.Graph, set *route.RouteSet, 
 		fs := flowState{
 			id:       f.ID,
 			probBits: uint64(cfg.LoadFactor * f.Bandwidth / maxBW * (1 << 63)),
+			bw:       f.Bandwidth,
 			flits:    f.PacketFlits,
 			adj:      make(map[int32][]int32),
 			final:    make(map[int32]bool),

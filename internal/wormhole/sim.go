@@ -66,6 +66,7 @@ type flowState struct {
 	routeCh  []topology.Channel
 	routeIdx []int32
 	probBits uint64    // per-cycle creation probability, scaled to [0, 2^63]
+	bw       float64   // declared bandwidth, kept so lanes can rescale probBits per load
 	flits    int       // packet length, hoisted out of the creation loop
 	local    bool      // same-switch flow: packets bypass the fabric
 	maxLen   int       // longest candidate path in hops (route length in table mode)
@@ -139,6 +140,11 @@ type Simulator struct {
 	lastProgress int64
 	stats        Stats
 	rec          *recovery // in-flight DISHA-style recovery, if any
+
+	// maxBW is the bandwidth normalizer probBits was scaled with, kept so
+	// batch lanes recompute per-load probabilities with the exact same
+	// float expression the constructor used (byte-identical injection).
+	maxBW float64
 }
 
 // newSkeleton builds the per-channel state shared by both engines and
@@ -186,6 +192,7 @@ func newSkeleton(top *topology.Topology, g *traffic.Graph, cfg Config) (*Simulat
 	if maxBW == 0 {
 		maxBW = 1
 	}
+	s.maxBW = maxBW
 	return s, maxBW, nil
 }
 
@@ -216,6 +223,7 @@ func New(top *topology.Topology, g *traffic.Graph, tab *route.Table, cfg Config)
 			routeCh:  r.Channels,
 			routeIdx: make([]int32, len(r.Channels)),
 			probBits: uint64(cfg.LoadFactor * f.Bandwidth / maxBW * (1 << 63)),
+			bw:       f.Bandwidth,
 			flits:    f.PacketFlits,
 			local:    len(r.Channels) == 0,
 			maxLen:   len(r.Channels),
@@ -834,10 +842,7 @@ const ctxCheckMask = 1023
 // Config.EpochCycles cycles.
 func (s *Simulator) RunContext(ctx context.Context) (*Stats, error) {
 	done := ctx.Done()
-	var nextEpoch int64 = -1
-	if s.cfg.OnEpoch != nil && s.cfg.EpochCycles > 0 {
-		nextEpoch = s.now + s.cfg.EpochCycles
-	}
+	lr := s.startRun()
 	for s.now < s.cfg.MaxCycles {
 		if done != nil && s.now&ctxCheckMask == 0 {
 			select {
@@ -846,35 +851,70 @@ func (s *Simulator) RunContext(ctx context.Context) (*Stats, error) {
 			default:
 			}
 		}
-		s.Step()
-		if nextEpoch >= 0 && s.now >= nextEpoch {
-			s.cfg.OnEpoch(EpochStats{
-				Cycle:            s.now,
-				InjectedPackets:  s.stats.InjectedPackets,
-				DeliveredPackets: s.stats.DeliveredPackets,
-				DeliveredFlits:   s.stats.DeliveredFlits,
-				InFlight:         s.live,
-			})
-			nextEpoch = s.now + s.cfg.EpochCycles
-		}
-		if s.now-s.lastProgress >= s.cfg.StallThreshold {
-			if s.cfg.Recovery && s.tryRecover() {
-				continue
-			}
-			pkts := s.confirmDeadlock()
-			s.stats.Deadlocked = true
-			s.stats.DeadlockCycle = s.now
-			s.stats.DeadlockPackets = packetIDs(pkts)
-			break
-		}
-		if s.drained() {
-			s.stats.Drained = true
+		if !lr.stepOnce() {
 			break
 		}
 	}
 	s.finishStats()
 	st := s.Stats()
 	return &st, nil
+}
+
+// laneRun is the incremental state RunContext keeps on the stack between
+// cycles — the epoch schedule — factored out so the batch engine can
+// drive many simulators through the exact same per-cycle protocol in
+// lockstep. Any change to run semantics belongs in stepOnce, where both
+// the single-variant and batch paths pick it up.
+type laneRun struct {
+	s         *Simulator
+	nextEpoch int64
+	done      bool
+}
+
+// startRun begins the RunContext protocol without stepping.
+func (s *Simulator) startRun() laneRun {
+	var nextEpoch int64 = -1
+	if s.cfg.OnEpoch != nil && s.cfg.EpochCycles > 0 {
+		nextEpoch = s.now + s.cfg.EpochCycles
+	}
+	return laneRun{s: s, nextEpoch: nextEpoch}
+}
+
+// stepOnce advances the run by one cycle: step, epoch emission, stall
+// watchdog (recovery or deadlock confirmation), drain check. It returns
+// false when the run is over — horizon reached, deadlock confirmed, or
+// drained — after which the caller finalizes with finishStats/Stats.
+func (lr *laneRun) stepOnce() bool {
+	s := lr.s
+	if s.now >= s.cfg.MaxCycles {
+		return false
+	}
+	s.Step()
+	if lr.nextEpoch >= 0 && s.now >= lr.nextEpoch {
+		s.cfg.OnEpoch(EpochStats{
+			Cycle:            s.now,
+			InjectedPackets:  s.stats.InjectedPackets,
+			DeliveredPackets: s.stats.DeliveredPackets,
+			DeliveredFlits:   s.stats.DeliveredFlits,
+			InFlight:         s.live,
+		})
+		lr.nextEpoch = s.now + s.cfg.EpochCycles
+	}
+	if s.now-s.lastProgress >= s.cfg.StallThreshold {
+		if s.cfg.Recovery && s.tryRecover() {
+			return true
+		}
+		pkts := s.confirmDeadlock()
+		s.stats.Deadlocked = true
+		s.stats.DeadlockCycle = s.now
+		s.stats.DeadlockPackets = packetIDs(pkts)
+		return false
+	}
+	if s.drained() {
+		s.stats.Drained = true
+		return false
+	}
+	return true
 }
 
 func (s *Simulator) finishStats() {

@@ -228,13 +228,17 @@ func (s *Session) NewSimulator(top *Topology, g *TrafficGraph, tab *RouteTable, 
 // Simulate builds a simulator and runs it to completion, honoring ctx
 // inside the flit-stepping loop and emitting EventSimEpoch snapshots to
 // the Session's progress feed.
+//
+// It is the single-variant wrapper over SimulateBatch — a SimSpec with
+// only Base set — retained with its behavior pinned by differential
+// tests; new code sweeping seeds or loads should call SimulateBatch,
+// which shares design construction across variants.
 func (s *Session) Simulate(ctx context.Context, top *Topology, g *TrafficGraph, tab *RouteTable, cfg SimConfig) (*SimStats, error) {
-	sim, err := wormhole.New(top, g, tab, s.simConfig(cfg))
+	bs, err := s.SimulateBatch(ctx, top, g, tab, SimSpec{Base: cfg})
 	if err != nil {
-		return nil, wrapErr(err)
+		return nil, err
 	}
-	st, err := sim.RunContext(ctx)
-	return st, wrapErr(err)
+	return bs.Variants[0].Stats, nil
 }
 
 // simConfig attaches the Session's progress feed to a simulation config.

@@ -1,0 +1,20 @@
+# Build stage: the module is dependency-free, so the build needs no
+# module proxy and works fully offline.
+FROM golang:1.22-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /out/nocdr ./cmd/nocdr \
+    && CGO_ENABLED=0 go build -trimpath -ldflags='-s -w' -o /out/nocexp ./cmd/nocexp
+
+# Run stage: a static binary on a minimal base. The entrypoint is the
+# job service; override the command for worker mode (see
+# docker-compose.yml) or run nocexp for one-shot experiments.
+FROM alpine:3.20
+RUN adduser -D -u 10001 nocdr
+COPY --from=build /out/nocdr /usr/local/bin/nocdr
+COPY --from=build /out/nocexp /usr/local/bin/nocexp
+USER nocdr
+EXPOSE 8080
+ENTRYPOINT ["/usr/local/bin/nocdr"]
+CMD ["serve", "-addr", "0.0.0.0:8080"]

@@ -11,7 +11,7 @@ FUZZ_PKGS ?= ./...
 # Minimum total statement coverage accepted by the cover gate.
 COVER_MIN ?= 70
 
-.PHONY: build test race bench bench-pin fmt vet lint vulncheck cover fuzz-smoke sweep-smoke sweep-smoke-sharded deep-sweep deep-loadsweep reconfigure-smoke deep-reconfigure examples ci
+.PHONY: build test race bench bench-pin fmt vet lint vulncheck cover fuzz-smoke sweep-smoke sweep-smoke-sharded deep-sweep deep-loadsweep reconfigure-smoke deep-reconfigure examples fabric-conformance compose-smoke ci
 
 build:
 	$(GO) build ./...
@@ -33,11 +33,12 @@ bench:
 # path's whole reason to exist is being much cheaper than a from-scratch
 # removal, so a regression there is a product regression), and the
 # lockstep batch-vs-sequential pair (the batch engine's ≥5x multi-core
-# advantage over 16 independent runs must not erode), repeated so
-# benchstat can establish significance. CI runs this on the PR head and
-# base and fails on a >15% sec/op regression.
+# advantage over 16 independent runs must not erode), and the fabric
+# result-cache hot path (the per-cell overhead every cached sweep pays),
+# repeated so benchstat can establish significance. CI runs this on the
+# PR head and base and fails on a >15% sec/op regression.
 bench-pin:
-	$(GO) test -run='^$$' -bench='^(BenchmarkSimStep$$|BenchmarkRemoval_|BenchmarkSessionOverhead$$|BenchmarkReconfigure_|BenchmarkLockstep)' \
+	$(GO) test -run='^$$' -bench='^(BenchmarkSimStep$$|BenchmarkRemoval_|BenchmarkSessionOverhead$$|BenchmarkReconfigure_|BenchmarkLockstep|BenchmarkCache)' \
 		-count=6 -benchtime=0.5s . | tee $(BENCH_OUT)
 
 fmt:
@@ -187,4 +188,27 @@ examples-run:
 serve-smoke:
 	./scripts/serve-smoke.sh
 
-ci: build vet fmt lint vulncheck race cover examples sweep-smoke sweep-smoke-sharded reconfigure-smoke
+# End-to-end conformance of the job fabric: coordinator + two joined
+# workers behind a bearer token, the same sweep twice through
+# -coordinator with an on-disk cache (run 2 must be >= 90% hits and
+# byte-identical), plus auth and registry assertions. CI runs this as
+# its own job.
+fabric-conformance:
+	./scripts/fabric-conformance.sh
+
+# Container smoke of the fleet topology docker-compose.yml describes:
+# build the image, bring up coordinator + two workers, assert the
+# registry converges, tear down. Nightly tier (needs a docker daemon).
+compose-smoke:
+	docker compose build
+	docker compose up -d
+	@for i in $$(seq 1 60); do \
+		n=$$(curl -fsS http://127.0.0.1:8080/v1/workers 2>/dev/null | jq .count 2>/dev/null || echo 0); \
+		[ "$$n" = "2" ] && break; sleep 1; \
+	done; \
+	curl -fsS http://127.0.0.1:8080/healthz | jq -e '.status == "ok" and .workers == 2' || \
+		{ docker compose logs; docker compose down -v; exit 1; }
+	docker compose down -v
+	@echo "compose-smoke: OK"
+
+ci: build vet fmt lint vulncheck race cover examples sweep-smoke sweep-smoke-sharded reconfigure-smoke fabric-conformance

@@ -10,6 +10,8 @@ package nocdr_test
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"runtime"
 	"testing"
 
@@ -17,6 +19,7 @@ import (
 	"github.com/nocdr/nocdr/internal/bench"
 	"github.com/nocdr/nocdr/internal/bench/runner"
 	"github.com/nocdr/nocdr/internal/core"
+	"github.com/nocdr/nocdr/internal/fabric"
 	"github.com/nocdr/nocdr/internal/ordering"
 	"github.com/nocdr/nocdr/internal/reconfig"
 	"github.com/nocdr/nocdr/internal/regular"
@@ -706,5 +709,51 @@ func BenchmarkSessionOverheadSimStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim.Step()
+	}
+}
+
+// cacheBenchPayload is a realistic cached-cell value: the canonical JSON
+// of one sweep result, a few hundred bytes.
+func cacheBenchPayload(b *testing.B) (string, []byte) {
+	b.Helper()
+	grid := runner.Grid{Benchmarks: []string{"mesh:4"}, Seeds: []int64{0}}
+	rep, err := runner.Run(grid, runner.Options{Parallel: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := json.Marshal(rep.Results[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	return runner.CellKey(grid.Jobs()[0], runner.Options{}, nil), data
+}
+
+// BenchmarkCacheHit pins the fabric cache's hot path: a Do call answered
+// from the in-memory tier. This is the per-cell overhead every cached
+// sweep pays, so it must stay in the tens of nanoseconds — a regression
+// here taxes exactly the runs the cache exists to make free.
+func BenchmarkCacheHit(b *testing.B) {
+	key, data := cacheBenchPayload(b)
+	cache := fabric.NewCache(fabric.CacheOptions{})
+	cache.Put(key, data)
+	b.ReportAllocs()
+	b.ResetTimer()
+	miss := func() ([]byte, error) { return nil, errors.New("benchmark cache missed") }
+	for i := 0; i < b.N; i++ {
+		if _, cached, err := cache.Do(key, false, miss); err != nil || !cached {
+			b.Fatal("benchmark cache missed")
+		}
+	}
+}
+
+// BenchmarkCacheKey pins the key derivation (SHA-256 over the canonical
+// job encoding) that both hit and miss paths pay per cell.
+func BenchmarkCacheKey(b *testing.B) {
+	grid := runner.Grid{Benchmarks: []string{"mesh:4"}, Seeds: []int64{0}}
+	job := grid.Jobs()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runner.CellKey(job, runner.Options{}, nil)
 	}
 }

@@ -13,7 +13,7 @@
 //	nocdr sim      -topology t.json -traffic g.json -routes r.json [-cycles N] [-load F] [-packets P]
 //	nocdr dot      -topology t.json [-cdg -routes r.json]
 //	nocdr bench    -name D26_media -out g.json
-//	nocdr serve    [-addr host:port] [-workers N] [-sweep-parallel N]
+//	nocdr serve    [-addr host:port] [-workers N] [-sweep-parallel N] [-join URL] [-token T] [-cache-dir DIR]
 package main
 
 import (

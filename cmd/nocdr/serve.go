@@ -5,35 +5,73 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"github.com/nocdr/nocdr/internal/fabric"
 	"github.com/nocdr/nocdr/internal/serve"
 )
 
 // runServe implements `nocdr serve`: the HTTP/JSON job service over the
 // removal/sweep/simulation pipeline (see internal/serve for the API).
-// SIGINT/SIGTERM shut it down gracefully: in-flight jobs get their
-// contexts canceled, the pool drains, then the listener closes.
+// With -join it registers itself as a worker of a coordinator fleet and
+// heartbeats until shutdown. SIGINT/SIGTERM shut it down gracefully:
+// in-flight jobs get their contexts canceled, the pool drains, then the
+// listener closes.
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	workers := fs.Int("workers", 0, "job pool size (0 = max(8, NumCPU))")
 	sweepParallel := fs.Int("sweep-parallel", 0, "per-sweep runner worker count (0 = NumCPU)")
+	join := fs.String("join", "", "coordinator base URL to join as a worker: register on startup, then heartbeat")
+	advertise := fs.String("advertise", "", "base URL this instance advertises to the coordinator (default http://<addr>)")
+	token := fs.String("token", os.Getenv(fabric.TokenEnv),
+		"shared fleet bearer token: required on every mutating endpoint and presented when joining (env "+fabric.TokenEnv+")")
+	cacheDir := fs.String("cache-dir", "", "directory for the on-disk result-cache tier (empty = in-memory only)")
+	cacheEntries := fs.Int("cache-entries", 0, "in-memory result-cache entry bound (0 = default)")
 	fs.Parse(args)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := serve.New(serve.Options{Workers: *workers, SweepParallel: *sweepParallel})
+	role := "coordinator"
+	if *join != "" {
+		role = "worker"
+	}
+	srv := serve.New(serve.Options{
+		Workers:       *workers,
+		SweepParallel: *sweepParallel,
+		Cache:         fabric.NewCache(fabric.CacheOptions{MaxEntries: *cacheEntries, Dir: *cacheDir}),
+		AuthToken:     *token,
+		Role:          role,
+	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "nocdr serve: listening on %s\n", *addr)
+	fmt.Fprintf(os.Stderr, "nocdr serve: listening on %s (%s)\n", *addr, role)
+
+	if *join != "" {
+		self := *advertise
+		if self == "" {
+			self = advertiseURL(*addr)
+		}
+		err := fabric.Join(ctx, *join, self, fabric.JoinOptions{
+			Token: *token,
+			OnState: func(msg string) {
+				fmt.Fprintf(os.Stderr, "nocdr serve: fleet %s\n", msg)
+			},
+		})
+		if err != nil {
+			httpSrv.Close()
+			srv.Close()
+			return err
+		}
+	}
 
 	select {
 	case err := <-errc:
@@ -54,4 +92,18 @@ func runServe(args []string) error {
 		return err
 	}
 	return nil
+}
+
+// advertiseURL derives the URL a joining worker advertises from its
+// listen address: wildcard hosts become loopback, since a coordinator
+// cannot dial 0.0.0.0 back. Cross-machine fleets pass -advertise.
+func advertiseURL(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "http://" + addr
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"github.com/nocdr/nocdr/internal/bench/runner"
+	"github.com/nocdr/nocdr/internal/fabric"
 	"github.com/nocdr/nocdr/internal/route"
 	"github.com/nocdr/nocdr/internal/serve"
 	"github.com/nocdr/nocdr/internal/traffic"
@@ -47,6 +48,14 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		"comma-separated base URLs of running `nocdr serve` workers: shard the grid across them over HTTP and merge a report byte-identical to a local run")
 	shardLocal := fs.Int("shard-local", 0,
 		"spawn this many in-process serve workers on loopback and shard the sweep across them (single-machine parallelism through the same distributed path)")
+	coordinator := fs.String("coordinator", "",
+		"base URL of a `nocdr serve` coordinator: shard the grid across its live worker registry, tracking joins and departures mid-sweep")
+	token := fs.String("token", os.Getenv(fabric.TokenEnv),
+		"fleet bearer token presented to the coordinator and its workers (env "+fabric.TokenEnv+")")
+	cacheDir := fs.String("cache-dir", "",
+		"content-addressed result-cache directory: cells whose semantic inputs hash to a stored entry are answered from it, and fresh results are stored for the next run")
+	noCache := fs.Bool("no-cache", false,
+		"recompute every cell even on a cache hit (fresh results still refresh the cache)")
 	jsonOut := fs.String("json", "", "write the deterministic JSON report to this file")
 	fullRebuild := fs.Bool("full-rebuild", false, "use the full-rebuild Remove path instead of the incremental one")
 	simulate := fs.Bool("simulate", false,
@@ -68,6 +77,9 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 
 	if *workers != "" && *shardLocal > 0 {
 		return fmt.Errorf("-workers and -shard-local are mutually exclusive")
+	}
+	if *coordinator != "" && (*workers != "" || *shardLocal > 0) {
+		return fmt.Errorf("-coordinator is mutually exclusive with -workers and -shard-local")
 	}
 	if *shardLocal < 0 {
 		return fmt.Errorf("-shard-local: worker count %d out of range", *shardLocal)
@@ -134,12 +146,26 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		FullRebuild: *fullRebuild,
 		Simulate:    *simulate,
 		Sim:         runner.SimParams{Cycles: *simCycles, Load: *simLoad, Adaptive: adaptiveSel},
+		NoCache:     *noCache,
 	}
 	if !*quiet {
 		opts.Progress = stderr
 	}
+	var cache *fabric.Cache
+	if *cacheDir != "" {
+		cache = fabric.NewCache(fabric.CacheOptions{Dir: *cacheDir})
+		opts.CellCache = cache
+	}
 	var rep *runner.Report
-	if *workers != "" || *shardLocal > 0 {
+	switch {
+	case *coordinator != "":
+		src, werr := fabric.WatchWorkers(ctx, *coordinator, *token, 0)
+		if werr != nil {
+			return werr
+		}
+		defer src.Close()
+		rep, err = (&runner.Sharded{Source: src, AuthToken: *token}).RunContext(ctx, grid, opts)
+	case *workers != "" || *shardLocal > 0:
 		urls := splitCSV(*workers)
 		if *shardLocal > 0 {
 			// Split the machine's budget across the spawned workers
@@ -152,9 +178,14 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 			}
 			defer shutdown()
 		}
-		rep, err = (&runner.Sharded{Workers: urls}).RunContext(ctx, grid, opts)
-	} else {
+		rep, err = (&runner.Sharded{Workers: urls, AuthToken: *token}).RunContext(ctx, grid, opts)
+	default:
 		rep, err = runner.RunContext(ctx, grid, opts)
+	}
+	if cache != nil {
+		st := cache.Stats()
+		fmt.Fprintf(stderr, "cache: %d hits, %d misses (%.0f%% hit rate)\n",
+			st.Hits, st.Misses, 100*st.HitRate())
 	}
 	if err != nil {
 		return err

@@ -83,6 +83,15 @@ type (
 	SweepReport = runner.Report
 	// SimParams parameterizes a sweep's flit-level verification stage.
 	SimParams = runner.SimParams
+	// ResultCache is the content-addressed sweep result cache contract
+	// (see WithResultCache): Get returns the cached canonical JSON
+	// encoding of a cell result, Put stores one. The fabric package's
+	// two-tier cache implements it.
+	ResultCache = runner.CellCache
+	// WorkerSource supplies live worker membership to a distributed
+	// sweep (see WithWorkerSource): a snapshot accessor plus a change
+	// signal, letting workers that join mid-run pick up unowned shards.
+	WorkerSource = runner.WorkerSource
 )
 
 // SweepOptions configures Session.Sweep beyond what the Session already
@@ -99,6 +108,10 @@ type SweepOptions struct {
 	// with WithWorkers, which dispatches shards instead of serving one.
 	ShardIndex int
 	ShardCount int
+	// NoCache forces recomputation of every cell even when a
+	// WithResultCache cache holds it; fresh results still refresh the
+	// cache. Without a cache attached it is a no-op.
+	NoCache bool
 }
 
 // Event is one entry of a Session's progress feed (see WithProgress).

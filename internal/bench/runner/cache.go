@@ -1,0 +1,56 @@
+// Content-addressed result caching for the sweep engine. A cell's cache
+// key is the fabric hash of every semantic input of its evaluation — the
+// job identity plus the option fields that change its result — so equal
+// keys imply byte-identical results and any engine change (via the
+// fabric salt) disjoints the whole key space at once.
+
+package runner
+
+import (
+	"github.com/nocdr/nocdr/internal/fabric"
+)
+
+// CellCache is the result-cache contract the sweep engine consults: Get
+// returns the cached canonical JSON encoding of a cell's Result, Put
+// stores one. Implementations must be safe for concurrent use;
+// fabric.Cache satisfies the interface.
+type CellCache interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, val []byte)
+}
+
+// cellKeyParts is the canonical input set of one cell evaluation. Every
+// field that can change the cell's Result participates; scheduling knobs
+// (Parallel, Progress, shard assignment) deliberately do not — the same
+// cell computed anywhere must hit the same address.
+type cellKeyParts struct {
+	Job         Job       `json:"job"`
+	Policy      int       `json:"policy"`
+	VCLimit     int       `json:"vc_limit"`
+	FullRebuild bool      `json:"full_rebuild"`
+	Simulate    bool      `json:"simulate"`
+	Sim         SimParams `json:"sim"`
+	MaxPaths    int       `json:"max_paths"`
+	Loads       []float64 `json:"loads,omitempty"`
+}
+
+// CellKey is the content address of one grid cell's evaluation under the
+// given options and measurement loads. Simulation parameters are
+// normalized to their effective values (so explicit defaults and zero
+// values address the same entry) and dropped entirely when the run does
+// not simulate, where they cannot influence the result.
+func CellKey(j Job, opts Options, loads []float64) string {
+	p := cellKeyParts{
+		Job:         j,
+		Policy:      int(opts.Policy),
+		VCLimit:     opts.VCLimit,
+		FullRebuild: opts.FullRebuild,
+		Simulate:    opts.Simulate,
+		MaxPaths:    opts.maxPaths,
+	}
+	if opts.Simulate {
+		p.Sim = opts.Sim.withDefaults()
+		p.Loads = loads
+	}
+	return fabric.Key("sweep-cell", p)
+}

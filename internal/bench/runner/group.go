@@ -52,11 +52,15 @@ func keyOf(job Job) groupKey {
 // groupJobs partitions job indices into design groups, in first-appearance
 // order. Seeds are the innermost Jobs axis, so on a full grid each group
 // is a contiguous run of cells; shard-filtered job lists group the same
-// way with fewer members.
-func groupJobs(jobs []Job) [][]int {
+// way with fewer members. Indices marked in skip (cells already served
+// from the result cache) join no group; a nil skip takes every cell.
+func groupJobs(jobs []Job, skip []bool) [][]int {
 	byKey := map[groupKey]int{}
 	var groups [][]int
 	for i, j := range jobs {
+		if skip != nil && skip[i] {
+			continue
+		}
 		k := keyOf(j)
 		gi, ok := byKey[k]
 		if !ok {

@@ -302,6 +302,17 @@ type Options struct {
 	// issued from any worker goroutine.
 	OnResult func(index, total int, res Result)
 
+	// CellCache, when non-nil, is consulted before evaluating any cell
+	// and fed after: a hit whose stored Result matches the cell's identity
+	// is used verbatim (it is byte-identical to a recomputation by the
+	// cache-key contract), and every cleanly computed cell is stored back.
+	// Errored and canceled cells are never cached.
+	CellCache CellCache
+	// NoCache skips cache lookups while still storing fresh results —
+	// a forced recomputation that refreshes the cache rather than
+	// bypassing it entirely.
+	NoCache bool
+
 	// ShardIndex/ShardCount restrict the run to the grid cells ShardOf
 	// assigns to shard ShardIndex of ShardCount (the worker side of the
 	// sharded sweep backend). ShardCount 0 runs the whole grid. A sharded
@@ -349,12 +360,33 @@ func RunContext(ctx context.Context, grid Grid, opts Options) (*Report, error) {
 	results := make([]Result, len(jobs))
 	scheduled := make([]bool, len(jobs))
 
+	// Result-cache pre-pass: cells whose content address already holds a
+	// clean result are filled in place and never scheduled. The stored
+	// bytes are the canonical Result encoding, so a cache-served report
+	// is byte-identical to a cold one.
+	var cached []bool
+	if opts.CellCache != nil && !opts.NoCache {
+		cached = make([]bool, len(jobs))
+		for i, j := range jobs {
+			data, ok := opts.CellCache.Get(CellKey(j, opts, grid.Loads))
+			if !ok {
+				continue
+			}
+			var r Result
+			if err := json.Unmarshal(data, &r); err == nil && r.Job == j {
+				results[i] = r
+				scheduled[i] = true
+				cached[i] = true
+			}
+		}
+	}
+
 	// Cells differing only in seed (and, with Grid.Loads, measurement
 	// load) share their entire design build; the scheduler's unit of
 	// work is therefore the design group, not the cell. Each group
 	// builds its design exactly once and fans the per-cell simulations
-	// out as one lockstep batch.
-	groups := groupJobs(jobs)
+	// out as one lockstep batch. Cache-served cells join no group.
+	groups := groupJobs(jobs, cached)
 
 	workers := opts.Parallel
 	if workers < 1 {
@@ -376,6 +408,23 @@ func RunContext(ctx context.Context, grid Grid, opts Options) (*Report, error) {
 		progress sync.Mutex
 		done     int
 	)
+	// Cache-served cells complete the moment the run starts: their
+	// progress lines and OnResult events fire up front, before any
+	// worker is spawned, so observers see every cell exactly once.
+	if opts.Progress != nil || opts.OnResult != nil {
+		for i := range jobs {
+			if cached == nil || !cached[i] {
+				continue
+			}
+			done++
+			if opts.Progress != nil {
+				fmt.Fprintf(opts.Progress, "sweep %d/%d: %s (cached)\n", done, len(jobs), results[i].oneLine())
+			}
+			if opts.OnResult != nil {
+				opts.OnResult(i, len(jobs), results[i])
+			}
+		}
+	}
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -384,6 +433,17 @@ func RunContext(ctx context.Context, grid Grid, opts Options) (*Report, error) {
 			for gi := range idx {
 				members := groups[gi]
 				runGroup(ctx, jobs, members, results, opts, grid.Loads, laneParallel)
+				if opts.CellCache != nil {
+					// Store every clean member under its content address;
+					// failures and cancellations must re-run next time.
+					for _, i := range members {
+						if r := results[i]; r.Error == "" && !r.Canceled {
+							if data, err := json.Marshal(r); err == nil {
+								opts.CellCache.Put(CellKey(jobs[i], opts, grid.Loads), data)
+							}
+						}
+					}
+				}
 				if opts.Progress != nil || opts.OnResult != nil {
 					// Counter increment and callbacks share the mutex so
 					// the n/total labels stay monotonic on the stream and

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/nocdr/nocdr/internal/core"
+	"github.com/nocdr/nocdr/internal/fabric"
 	"github.com/nocdr/nocdr/internal/nocerr"
 )
 
@@ -39,6 +40,20 @@ type Sharded struct {
 	// Workers are the base URLs of running `nocdr serve` instances
 	// (scheme://host:port, no trailing slash required).
 	Workers []string
+	// Source, when non-nil, supplies live worker membership on top of the
+	// static Workers list: its snapshot is admitted at start, and whenever
+	// Updates signals, URLs never seen before join the fleet mid-run and
+	// immediately start taking unowned shards. A URL retired for failures
+	// is not re-admitted within the run, even if the source still lists
+	// it. fabric.Watcher implements the contract.
+	Source WorkerSource
+	// JoinGrace bounds how long a run with a Source waits for a worker
+	// to join while shards are pending and none are live (default 30s);
+	// past it the run fails like an all-workers-dead run.
+	JoinGrace time.Duration
+	// AuthToken is the fleet bearer token attached to every worker call
+	// ("" = open fleet).
+	AuthToken string
 	// Shards overrides DefaultShardCount. The shard count — not the
 	// worker count — is the granularity of assignment, load balancing
 	// and requeue, so it may exceed the worker count freely.
@@ -88,6 +103,23 @@ func (d *Sharded) drainTimeout() time.Duration {
 	return 10 * time.Second
 }
 
+func (d *Sharded) joinGrace() time.Duration {
+	if d.JoinGrace > 0 {
+		return d.JoinGrace
+	}
+	return 30 * time.Second
+}
+
+// WorkerSource supplies live worker membership to the sharded
+// dispatcher. WorkerURLs snapshots the current set; Updates signals that
+// it changed (re-read WorkerURLs after receiving). The fabric package's
+// Watcher, polling a coordinator's registry, is the canonical
+// implementation.
+type WorkerSource interface {
+	WorkerURLs() []string
+	Updates() <-chan struct{}
+}
+
 // shardRequest is the client side of serve's POST /v1/sweep body; field
 // names mirror the server's request schema.
 type shardRequest struct {
@@ -99,6 +131,7 @@ type shardRequest struct {
 		VCLimit     int    `json:"vc_limit"`
 		FullRebuild bool   `json:"full_rebuild"`
 		Policy      string `json:"policy"`
+		NoCache     bool   `json:"no_cache,omitempty"`
 	} `json:"options"`
 }
 
@@ -141,7 +174,7 @@ type outcome struct {
 // budget — or the death of every worker — fail the run with an error
 // wrapping nocerr.ErrWorker.
 func (d *Sharded) RunContext(ctx context.Context, grid Grid, opts Options) (*Report, error) {
-	if len(d.Workers) == 0 {
+	if len(d.Workers) == 0 && d.Source == nil {
 		return nil, fmt.Errorf("%w: sharded sweep needs at least one worker URL", nocerr.ErrInvalidInput)
 	}
 	if opts.ShardCount != 0 {
@@ -151,21 +184,62 @@ func (d *Sharded) RunContext(ctx context.Context, grid Grid, opts Options) (*Rep
 		return nil, err
 	}
 	grid = grid.normalized()
+	opts.maxPaths = grid.MaxPaths
 	shards := d.Shards
 	if shards <= 0 {
 		shards = DefaultShardCount
 	}
 	jobs := grid.Jobs()
-	perShard := make([]int, shards)
-	for _, j := range jobs {
-		perShard[ShardOf(j, shards)]++
+	shardJobs := make([][]int, shards)
+	for i, j := range jobs {
+		s := ShardOf(j, shards)
+		shardJobs[s] = append(shardJobs[s], i)
 	}
-	// Only populated shards become work items; empty ones need no job.
-	var pending []int
+
+	// Coordinator-side cache pre-pass, at shard granularity: a shard
+	// every cell of which is cached is served locally and never
+	// dispatched (its results enter the merge as one extra pseudo-shard
+	// report — MergeShards accepts any partition). Shards with even one
+	// cold cell dispatch whole, because a worker answers with all its
+	// cells and the merge rejects duplicates. Probing stops at a shard's
+	// first miss so the cache's hit/miss counters track usable lookups.
+	var (
+		pending      []int
+		cacheRep     *Report
+		cachedShards = make([]bool, shards)
+	)
 	for s := 0; s < shards; s++ {
-		if perShard[s] > 0 {
+		if len(shardJobs[s]) == 0 {
+			continue
+		}
+		hits := make([]Result, 0, len(shardJobs[s]))
+		if opts.CellCache != nil && !opts.NoCache {
+			for _, i := range shardJobs[s] {
+				data, ok := opts.CellCache.Get(CellKey(jobs[i], opts, grid.Loads))
+				if !ok {
+					break
+				}
+				var r Result
+				if err := json.Unmarshal(data, &r); err != nil || r.Job != jobs[i] {
+					break
+				}
+				hits = append(hits, r)
+			}
+		}
+		if len(hits) == len(shardJobs[s]) && len(hits) > 0 {
+			cachedShards[s] = true
+			if cacheRep == nil {
+				cacheRep = &Report{Grid: grid}
+			}
+			cacheRep.Results = append(cacheRep.Results, hits...)
+		} else {
 			pending = append(pending, s)
 		}
+	}
+	if len(pending) > 0 && len(d.Workers) == 0 && d.Source != nil && len(d.Source.WorkerURLs()) == 0 && d.JoinGrace == 0 {
+		// Fail fast rather than idle a full default grace when the fleet
+		// is empty at start and the caller didn't opt into waiting.
+		return nil, fmt.Errorf("%w: %d shard(s) to run and no live workers registered", nocerr.ErrWorker, len(pending))
 	}
 	retries := d.Retries
 	if retries <= 0 {
@@ -176,20 +250,47 @@ func (d *Sharded) RunContext(ctx context.Context, grid Grid, opts Options) (*Rep
 	defer cancel()
 
 	// One goroutine per worker, fed one shard at a time over its own
-	// channel; all scheduling state lives in this goroutine.
-	feed := make([]chan int, len(d.Workers))
-	done := make(chan outcome)
-	var wg sync.WaitGroup
-	for w := range d.Workers {
-		feed[w] = make(chan int)
+	// channel; all scheduling state lives in this goroutine. Workers can
+	// be admitted mid-run (spawn is only called from this goroutine), so
+	// the fleet is a growing slice rather than a fixed array.
+	type remote struct {
+		url  string
+		feed chan int
+	}
+	var (
+		wg      sync.WaitGroup
+		done    = make(chan outcome)
+		fleet   []*remote
+		known   = make(map[string]bool)
+		free    []int
+		updates <-chan struct{}
+	)
+	spawn := func(url string) {
+		if url == "" || known[url] {
+			return
+		}
+		known[url] = true
+		w := &remote{url: url, feed: make(chan int)}
+		wi := len(fleet)
+		fleet = append(fleet, w)
+		free = append(free, wi)
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
-			for shard := range feed[w] {
-				rep, dead, err := d.runShard(cctx, d.Workers[w], grid, shard, shards, opts)
-				done <- outcome{shard: shard, worker: w, rep: rep, err: err, dead: dead}
+			for shard := range w.feed {
+				rep, dead, err := d.runShard(cctx, w.url, grid, shard, shards, opts)
+				done <- outcome{shard: shard, worker: wi, rep: rep, err: err, dead: dead}
 			}
-		}(w)
+		}()
+	}
+	for _, u := range d.Workers {
+		spawn(u)
+	}
+	if d.Source != nil {
+		for _, u := range d.Source.WorkerURLs() {
+			spawn(u)
+		}
+		updates = d.Source.Updates()
 	}
 
 	// Global slot indices per cell key, consumed as progress callbacks
@@ -206,14 +307,31 @@ func (d *Sharded) RunContext(ctx context.Context, grid Grid, opts Options) (*Rep
 	var (
 		reports     []*Report
 		attempts    = make([]int, shards)
-		free        []int
 		inflight    int
 		fatal       error
 		interrupted bool
 		progressed  int
 	)
-	for w := range d.Workers {
-		free = append(free, w)
+	noteResults := func(rep *Report) {
+		for i := range rep.Results {
+			res := rep.Results[i]
+			progressed++
+			if opts.Progress != nil {
+				fmt.Fprintf(opts.Progress, "sweep %d/%d: %s\n", progressed, len(jobs), res.oneLine())
+			}
+			if opts.OnResult != nil {
+				k := res.Job.Key()
+				if slots := slotOf[k]; len(slots) > 0 {
+					slotOf[k] = slots[1:]
+					opts.OnResult(slots[0], len(jobs), res)
+				}
+			}
+		}
+	}
+	if cacheRep != nil {
+		// Cache-served shards complete up front, before any dispatch.
+		noteResults(cacheRep)
+		reports = append(reports, cacheRep)
 	}
 	ctxDone := ctx.Done()
 
@@ -225,17 +343,35 @@ func (d *Sharded) RunContext(ctx context.Context, grid Grid, opts Options) (*Rep
 			shard := pending[0]
 			pending = pending[1:]
 			if d.OnAssign != nil {
-				d.OnAssign(shard, shards, d.Workers[w])
+				d.OnAssign(shard, shards, fleet[w].url)
 			}
-			feed[w] <- shard
+			fleet[w].feed <- shard
 			inflight++
 		}
 		if inflight == 0 {
-			if len(pending) > 0 && fatal == nil && !interrupted {
-				// Shards remain but every worker has been retired.
-				fatal = fmt.Errorf("%w: %d shard(s) unassigned and no workers left alive", nocerr.ErrWorker, len(pending))
+			if len(pending) == 0 || fatal != nil || interrupted {
+				break
 			}
-			break
+			// Shards remain but every admitted worker has been retired.
+			if updates == nil {
+				fatal = fmt.Errorf("%w: %d shard(s) unassigned and no workers left alive", nocerr.ErrWorker, len(pending))
+				break
+			}
+			// Live-membership mode: wait (bounded) for a join instead of
+			// failing — a fresh worker registering with the coordinator
+			// picks the unowned shards up.
+			select {
+			case <-updates:
+				for _, u := range d.Source.WorkerURLs() {
+					spawn(u)
+				}
+			case <-time.After(d.joinGrace()):
+				fatal = fmt.Errorf("%w: %d shard(s) unassigned and no worker joined within %v", nocerr.ErrWorker, len(pending), d.joinGrace())
+			case <-ctxDone:
+				interrupted = true
+				ctxDone = nil
+			}
+			continue
 		}
 		select {
 		case o := <-done:
@@ -252,20 +388,7 @@ func (d *Sharded) RunContext(ctx context.Context, grid Grid, opts Options) (*Rep
 					if o.rep.Canceled {
 						interrupted = true
 					}
-					for i := range o.rep.Results {
-						res := o.rep.Results[i]
-						progressed++
-						if opts.Progress != nil {
-							fmt.Fprintf(opts.Progress, "sweep %d/%d: %s\n", progressed, len(jobs), res.oneLine())
-						}
-						if opts.OnResult != nil {
-							k := res.Job.Key()
-							if slots := slotOf[k]; len(slots) > 0 {
-								slotOf[k] = slots[1:]
-								opts.OnResult(slots[0], len(jobs), res)
-							}
-						}
-					}
+					noteResults(o.rep)
 				}
 			case cctx.Err() != nil:
 				// Failure raced the cancellation: keep any partial result
@@ -277,7 +400,7 @@ func (d *Sharded) RunContext(ctx context.Context, grid Grid, opts Options) (*Rep
 			default:
 				attempts[o.shard]++
 				if d.OnRetry != nil {
-					d.OnRetry(o.shard, d.Workers[o.worker], o.err)
+					d.OnRetry(o.shard, fleet[o.worker].url, o.err)
 				}
 				if attempts[o.shard] >= retries {
 					fatal = fmt.Errorf("%w: shard %d/%d failed after %d attempt(s): %v",
@@ -287,6 +410,12 @@ func (d *Sharded) RunContext(ctx context.Context, grid Grid, opts Options) (*Rep
 					pending = append(pending, o.shard)
 				}
 			}
+		case <-updates:
+			// Mid-run membership change: admit workers never seen before;
+			// the assignment loop hands them pending shards immediately.
+			for _, u := range d.Source.WorkerURLs() {
+				spawn(u)
+			}
 		case <-ctxDone:
 			// Stop assigning; in-flight shards drain cooperatively
 			// through runShard's cancellation path. Nil the channel so a
@@ -295,8 +424,8 @@ func (d *Sharded) RunContext(ctx context.Context, grid Grid, opts Options) (*Rep
 			ctxDone = nil
 		}
 	}
-	for _, ch := range feed {
-		close(ch)
+	for _, w := range fleet {
+		close(w.feed)
 	}
 	wg.Wait()
 
@@ -309,6 +438,21 @@ func (d *Sharded) RunContext(ctx context.Context, grid Grid, opts Options) (*Rep
 	}
 	if interrupted && ctx.Err() != nil {
 		rep.Canceled = true
+	}
+	if opts.CellCache != nil {
+		// Feed the coordinator cache from the merged report: every clean
+		// cell a worker computed this run (cache-served shards already
+		// hold these exact bytes and are skipped). rep.Results is in
+		// jobs order, so index i is cell jobs[i].
+		for i := range rep.Results {
+			r := rep.Results[i]
+			if cachedShards[ShardOf(jobs[i], shards)] || r.Error != "" || r.Canceled {
+				continue
+			}
+			if data, err := json.Marshal(r); err == nil {
+				opts.CellCache.Put(CellKey(jobs[i], opts, grid.Loads), data)
+			}
+		}
 	}
 	return rep, nil
 }
@@ -329,6 +473,7 @@ func (d *Sharded) runShard(ctx context.Context, worker string, grid Grid, shard,
 	req.Options.VCLimit = opts.VCLimit
 	req.Options.FullRebuild = opts.FullRebuild
 	req.Options.Policy = policyWire(opts.Policy)
+	req.Options.NoCache = opts.NoCache
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, false, err
@@ -405,6 +550,7 @@ func (d *Sharded) drain(worker, id string) (*Report, bool, error) {
 	if err != nil {
 		return nil, false, nil
 	}
+	fabric.SetAuth(creq, d.AuthToken)
 	if resp, err := d.client().Do(creq); err == nil {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
@@ -438,6 +584,7 @@ func (d *Sharded) submit(ctx context.Context, worker string, shard, shards int, 
 		return "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	fabric.SetAuth(req, d.AuthToken)
 	resp, err := d.client().Do(req)
 	if err != nil {
 		return "", err
@@ -465,6 +612,7 @@ func (d *Sharded) jobStatus(ctx context.Context, worker, id string) (*wireStatus
 	if err != nil {
 		return nil, err
 	}
+	fabric.SetAuth(req, d.AuthToken)
 	resp, err := d.client().Do(req)
 	if err != nil {
 		return nil, err

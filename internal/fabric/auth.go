@@ -1,0 +1,41 @@
+package fabric
+
+import (
+	"crypto/subtle"
+	"net/http"
+	"strings"
+)
+
+// TokenEnv is the environment variable both CLIs read the fleet bearer
+// token from when no -token flag is given.
+const TokenEnv = "NOCDR_TOKEN"
+
+// RequireBearer guards next behind shared bearer-token auth: requests
+// must carry `Authorization: Bearer <token>` or are answered 401 with a
+// WWW-Authenticate challenge. The comparison is constant-time, so the
+// handler leaks no timing signal about how much of a guessed token
+// matched. An empty token disables the guard (open fleet — loopback and
+// test deployments).
+func RequireBearer(token string, next http.Handler) http.Handler {
+	if token == "" {
+		return next
+	}
+	want := []byte(token)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(got), want) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="nocdr"`)
+			http.Error(w, `{"error": "fabric: missing or invalid bearer token"}`, http.StatusUnauthorized)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// SetAuth attaches the bearer token to an outgoing request; a no-op when
+// the token is empty.
+func SetAuth(r *http.Request, token string) {
+	if token != "" {
+		r.Header.Set("Authorization", "Bearer "+token)
+	}
+}

@@ -1,0 +1,66 @@
+package fabric
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func authProbe(t *testing.T, h http.Handler, header string) int {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/thing", nil)
+	if header != "" {
+		req.Header.Set("Authorization", header)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code
+}
+
+func TestRequireBearer(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) })
+
+	// Empty token: open — the guard is identity.
+	if code := authProbe(t, RequireBearer("", inner), ""); code != http.StatusOK {
+		t.Fatalf("open fleet rejected: %d", code)
+	}
+
+	h := RequireBearer("sekrit", inner)
+	cases := []struct {
+		name   string
+		header string
+		want   int
+	}{
+		{"missing", "", http.StatusUnauthorized},
+		{"wrong scheme", "Basic sekrit", http.StatusUnauthorized},
+		{"wrong token", "Bearer wrong", http.StatusUnauthorized},
+		{"prefix of token", "Bearer sekri", http.StatusUnauthorized},
+		{"token plus suffix", "Bearer sekrit2", http.StatusUnauthorized},
+		{"exact", "Bearer sekrit", http.StatusOK},
+	}
+	for _, tc := range cases {
+		if code := authProbe(t, h, tc.header); code != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, code, tc.want)
+		}
+	}
+
+	// Rejections must carry the challenge header.
+	req := httptest.NewRequest(http.MethodPost, "/", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Header().Get("WWW-Authenticate") == "" {
+		t.Fatal("401 without a WWW-Authenticate challenge")
+	}
+}
+
+func TestSetAuth(t *testing.T) {
+	req := httptest.NewRequest(http.MethodGet, "/", nil)
+	SetAuth(req, "")
+	if req.Header.Get("Authorization") != "" {
+		t.Fatal("empty token set a header")
+	}
+	SetAuth(req, "tok")
+	if req.Header.Get("Authorization") != "Bearer tok" {
+		t.Fatalf("header %q", req.Header.Get("Authorization"))
+	}
+}

@@ -1,0 +1,280 @@
+package fabric
+
+import (
+	"container/list"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// CacheOptions configures a Cache.
+type CacheOptions struct {
+	// MaxEntries bounds the in-memory LRU tier. Default 1024.
+	MaxEntries int
+	// Dir, when non-empty, enables the on-disk tier: every stored value
+	// is also written to a file named by its key under Dir, and memory
+	// misses fall through to it. The directory is created on demand.
+	// Disk entries are never evicted by the cache itself — the engine
+	// salt in every key already retires stale files, and operators can
+	// clear the directory wholesale.
+	Dir string
+}
+
+func (o CacheOptions) withDefaults() CacheOptions {
+	if o.MaxEntries < 1 {
+		o.MaxEntries = 1024
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of a Cache's counters.
+type Stats struct {
+	// Hits counts lookups answered from either tier (disk hits are
+	// counted in both Hits and DiskHits).
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups answered by neither tier.
+	Misses uint64 `json:"misses"`
+	// Collapsed counts Do callers that piggybacked on another caller's
+	// in-flight computation instead of executing their own.
+	Collapsed uint64 `json:"collapsed"`
+	// DiskHits counts lookups that missed memory but hit the disk tier.
+	DiskHits uint64 `json:"disk_hits"`
+	// Puts counts stores.
+	Puts uint64 `json:"puts"`
+	// Entries is the current in-memory entry count.
+	Entries int `json:"entries"`
+	// Bytes is the resident size of the in-memory tier's values.
+	Bytes int64 `json:"bytes"`
+	// MaxEntries echoes the configured memory bound.
+	MaxEntries int `json:"max_entries"`
+}
+
+// HitRate is hits over total lookups, 0 when nothing was looked up.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// flight is one in-progress Do computation; followers wait on done.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Cache is the content-addressed result store: a bounded in-memory LRU
+// in front of an optional on-disk tier, with singleflight collapsing of
+// concurrent identical computations. All methods are safe for concurrent
+// use, and every method is a no-op-safe on a nil receiver, so call sites
+// need not branch on whether caching is configured.
+type Cache struct {
+	mu      sync.Mutex
+	opts    CacheOptions
+	ll      *list.List // front = most recent
+	items   map[string]*list.Element
+	flights map[string]*flight
+	bytes   int64
+	hits    uint64
+	misses  uint64
+	clps    uint64
+	dskHits uint64
+	puts    uint64
+}
+
+// entry is one resident value.
+type entry struct {
+	key string
+	val []byte
+}
+
+// NewCache builds a Cache.
+func NewCache(opts CacheOptions) *Cache {
+	return &Cache{
+		opts:    opts.withDefaults(),
+		ll:      list.New(),
+		items:   make(map[string]*list.Element),
+		flights: make(map[string]*flight),
+	}
+}
+
+// Get returns the value stored under key, consulting memory first and
+// the disk tier second (promoting disk hits into memory). The returned
+// slice is shared — callers must not mutate it.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	return c.get(key, true)
+}
+
+// get is Get with the miss accounting optional: Do suppresses it so a
+// caller that goes on to join an in-flight computation is counted as
+// Collapsed, not as a Miss — exactly one miss per actual computation.
+func (c *Cache) get(key string, countMiss bool) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		val := el.Value.(*entry).val
+		c.mu.Unlock()
+		return val, true
+	}
+	dir := c.opts.Dir
+	c.mu.Unlock()
+	if dir != "" {
+		if val, err := os.ReadFile(c.diskPath(key)); err == nil {
+			c.mu.Lock()
+			c.hits++
+			c.dskHits++
+			c.storeLocked(key, val)
+			c.mu.Unlock()
+			return val, true
+		}
+	}
+	if countMiss {
+		c.mu.Lock()
+		c.misses++
+		c.mu.Unlock()
+	}
+	return nil, false
+}
+
+// Put stores val under key in both tiers. The value is retained as
+// given — callers must not mutate it afterwards.
+func (c *Cache) Put(key string, val []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.puts++
+	c.storeLocked(key, val)
+	dir := c.opts.Dir
+	c.mu.Unlock()
+	if dir != "" {
+		c.writeDisk(key, val)
+	}
+}
+
+// storeLocked inserts or refreshes the memory entry and evicts past the
+// bound; the caller holds c.mu.
+func (c *Cache) storeLocked(key string, val []byte) {
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		c.bytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+	c.bytes += int64(len(val))
+	for c.ll.Len() > c.opts.MaxEntries {
+		oldest := c.ll.Back()
+		e := oldest.Value.(*entry)
+		c.ll.Remove(oldest)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.val))
+	}
+}
+
+// Do returns the value for key, computing it at most once across all
+// concurrent callers: a cache hit returns immediately; otherwise the
+// first caller runs compute while followers with the same key block and
+// share its outcome. cached reports whether this caller avoided the
+// computation (a tier hit or a collapsed flight). Failed computations
+// are not stored, and every waiting follower receives the error.
+//
+// When noCache is set the lookup is skipped — compute always runs for
+// the leading caller — but the result is still stored, so a bypassing
+// request refreshes the entry rather than leaving it stale.
+func (c *Cache) Do(key string, noCache bool, compute func() ([]byte, error)) (val []byte, cached bool, err error) {
+	if c == nil {
+		val, err = compute()
+		return val, false, err
+	}
+	if !noCache {
+		if val, ok := c.get(key, false); ok {
+			return val, true, nil
+		}
+	}
+	c.mu.Lock()
+	if f, ok := c.flights[key]; ok {
+		c.clps++
+		c.mu.Unlock()
+		<-f.done
+		return f.val, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	if !noCache {
+		// The one real miss per computation is charged to the leader;
+		// followers joining the flight are Collapsed instead.
+		c.misses++
+	}
+	c.mu.Unlock()
+
+	f.val, f.err = compute()
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(f.done)
+	if f.err == nil {
+		c.Put(key, f.val)
+	}
+	return f.val, false, f.err
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Collapsed:  c.clps,
+		DiskHits:   c.dskHits,
+		Puts:       c.puts,
+		Entries:    c.ll.Len(),
+		Bytes:      c.bytes,
+		MaxEntries: c.opts.MaxEntries,
+	}
+}
+
+// diskPath shards disk entries across 256 prefix directories so a large
+// cache never produces one enormous flat directory.
+func (c *Cache) diskPath(key string) string {
+	prefix := "xx"
+	if len(key) >= 2 {
+		prefix = key[:2]
+	}
+	return filepath.Join(c.opts.Dir, prefix, key+".json")
+}
+
+// writeDisk persists one entry atomically: write-to-temp then rename, so
+// a concurrent reader never observes a torn file. Failures are silent —
+// the disk tier is an optimization, never a correctness dependency.
+func (c *Cache) writeDisk(key string, val []byte) {
+	path := c.diskPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(val)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+	}
+}

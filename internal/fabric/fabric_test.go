@@ -1,0 +1,315 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestKeyDeterministic pins that the content address is a pure function
+// of the semantic inputs: equal values hash equal, different values (or
+// kinds, or salts) hash differently.
+func TestKeyDeterministic(t *testing.T) {
+	type in struct {
+		A string
+		B []int
+		M map[string]int
+	}
+	v := in{A: "x", B: []int{1, 2}, M: map[string]int{"b": 2, "a": 1}}
+	if Key("k", v) != Key("k", v) {
+		t.Fatal("equal inputs hashed differently")
+	}
+	if Key("k", v) == Key("other-kind", v) {
+		t.Fatal("kind does not participate in the key")
+	}
+	w := v
+	w.B = []int{1, 3}
+	if Key("k", v) == Key("k", w) {
+		t.Fatal("different inputs collided")
+	}
+	// Map iteration order must not leak into the address.
+	for i := 0; i < 32; i++ {
+		u := in{A: "x", B: []int{1, 2}, M: map[string]int{"a": 1, "b": 2}}
+		if Key("k", u) != Key("k", v) {
+			t.Fatal("map ordering leaked into the key")
+		}
+	}
+}
+
+// TestKeySalt pins the engine-version salt: the same inputs under a
+// different salt produce a disjoint address, so no result cached before
+// an engine change can be served after it.
+func TestKeySalt(t *testing.T) {
+	if keyWithSalt("engine/1", "k", 42) == keyWithSalt("engine/2", "k", 42) {
+		t.Fatal("salt does not participate in the key")
+	}
+	if Key("k", 42) != keyWithSalt(EngineVersion, "k", 42) {
+		t.Fatal("Key does not use the EngineVersion salt")
+	}
+}
+
+func TestCacheLRU(t *testing.T) {
+	c := NewCache(CacheOptions{MaxEntries: 2})
+	c.Put("a", []byte("va"))
+	c.Put("b", []byte("vb"))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	// a is now most recent; inserting c must evict b.
+	c.Put("c", []byte("vc"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived past the bound")
+	}
+	if v, ok := c.Get("a"); !ok || string(v) != "va" {
+		t.Fatalf("a lost or corrupted: %q %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Entries != 2 {
+		t.Fatalf("entries %d, want 2", st.Entries)
+	}
+	if st.Bytes != int64(len("va")+len("vc")) {
+		t.Fatalf("bytes %d", st.Bytes)
+	}
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("hits %d misses %d, want 2/1", st.Hits, st.Misses)
+	}
+}
+
+// TestCacheDisk pins the on-disk tier: entries survive a fresh Cache
+// instance over the same directory (the cross-process story), and disk
+// hits are promoted and counted.
+func TestCacheDisk(t *testing.T) {
+	dir := t.TempDir()
+	c1 := NewCache(CacheOptions{Dir: dir})
+	c1.Put("deadbeef", []byte(`{"x":1}`))
+
+	c2 := NewCache(CacheOptions{Dir: dir})
+	v, ok := c2.Get("deadbeef")
+	if !ok || string(v) != `{"x":1}` {
+		t.Fatalf("disk tier miss: %q %v", v, ok)
+	}
+	st := c2.Stats()
+	if st.DiskHits != 1 || st.Hits != 1 {
+		t.Fatalf("disk hit not counted: %+v", st)
+	}
+	// Promoted: the second read must come from memory.
+	if _, ok := c2.Get("deadbeef"); !ok {
+		t.Fatal("promotion lost the entry")
+	}
+	if st := c2.Stats(); st.DiskHits != 1 || st.Hits != 2 {
+		t.Fatalf("promotion not served from memory: %+v", st)
+	}
+	// No stray temp files.
+	entries, _ := filepath.Glob(filepath.Join(dir, "*", ".tmp-*"))
+	if len(entries) != 0 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+}
+
+func TestCacheDiskUnwritable(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: directory permissions are not enforced")
+	}
+	dir := filepath.Join(t.TempDir(), "ro")
+	if err := os.Mkdir(dir, 0o500); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(CacheOptions{Dir: dir})
+	c.Put("k", []byte("v")) // must not panic
+	if v, ok := c.Get("k"); !ok || string(v) != "v" {
+		t.Fatal("memory tier must still serve when disk writes fail")
+	}
+}
+
+// TestCacheDoCollapses pins singleflight: N concurrent Do calls for one
+// key execute the computation exactly once, every caller gets the same
+// bytes, and followers are counted as collapsed.
+func TestCacheDoCollapses(t *testing.T) {
+	c := NewCache(CacheOptions{})
+	var execs atomic.Int32
+	release := make(chan struct{})
+	const n = 8
+	var wg sync.WaitGroup
+	vals := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do("k", false, func() ([]byte, error) {
+				execs.Add(1)
+				<-release
+				return []byte("result"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i] = v
+		}(i)
+	}
+	// Let every goroutine reach Do before releasing the leader.
+	deadline := time.Now().Add(5 * time.Second)
+	for execs.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("computation executed %d times, want exactly 1", got)
+	}
+	for i, v := range vals {
+		if string(v) != "result" {
+			t.Fatalf("caller %d got %q", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.Collapsed != n-1 {
+		t.Fatalf("collapsed %d, want %d", st.Collapsed, n-1)
+	}
+	// The stored entry now serves hits.
+	if _, cached, _ := c.Do("k", false, func() ([]byte, error) { t.Fatal("recomputed"); return nil, nil }); !cached {
+		t.Fatal("post-flight lookup missed")
+	}
+}
+
+// TestCacheDoError pins that failed computations are not stored and the
+// error reaches every collapsed follower.
+func TestCacheDoError(t *testing.T) {
+	c := NewCache(CacheOptions{})
+	boom := errors.New("boom")
+	if _, _, err := c.Do("k", false, func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err %v", err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("failed computation was cached")
+	}
+}
+
+// TestCacheNoCacheBypass pins the bypass contract: noCache skips the
+// lookup (the computation reruns) but still refreshes the entry.
+func TestCacheNoCacheBypass(t *testing.T) {
+	c := NewCache(CacheOptions{})
+	calls := 0
+	compute := func() ([]byte, error) { calls++; return []byte(fmt.Sprintf("v%d", calls)), nil }
+	v, cached, _ := c.Do("k", false, compute)
+	if cached || string(v) != "v1" {
+		t.Fatalf("cold: %q cached=%v", v, cached)
+	}
+	v, cached, _ = c.Do("k", true, compute)
+	if cached || string(v) != "v2" {
+		t.Fatalf("bypass did not recompute: %q cached=%v", v, cached)
+	}
+	// The bypass refreshed the entry: a normal lookup now sees v2.
+	v, cached, _ = c.Do("k", false, compute)
+	if !cached || string(v) != "v2" {
+		t.Fatalf("bypass did not refresh: %q cached=%v", v, cached)
+	}
+}
+
+func TestNilCacheSafe(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Put("k", []byte("v"))
+	v, cached, err := c.Do("k", false, func() ([]byte, error) { return []byte("v"), nil })
+	if err != nil || cached || string(v) != "v" {
+		t.Fatalf("nil Do: %q %v %v", v, cached, err)
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil stats %+v", st)
+	}
+}
+
+// fakeClock is a hand-advanced clock for deterministic TTL tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+// TestRegistryLifecycle pins the membership state machine: register →
+// heartbeats keep a worker alive past any number of intervals → silence
+// beyond the missed-heartbeat budget retires it → its next heartbeat is
+// rejected → re-registration readmits it under a fresh ID.
+func TestRegistryLifecycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	r := NewRegistry(RegistryOptions{HeartbeatInterval: time.Second, MissedBudget: 3, Now: clk.now})
+	w := r.Register("http://a:1")
+	if r.Count() != 1 {
+		t.Fatalf("count %d", r.Count())
+	}
+	// Beating every interval keeps it alive arbitrarily long.
+	for i := 0; i < 10; i++ {
+		clk.advance(time.Second)
+		if !r.Heartbeat(w.ID) {
+			t.Fatalf("live heartbeat rejected at %d", i)
+		}
+	}
+	// TTL is interval×budget = 3s; 3s of silence is within budget...
+	clk.advance(3 * time.Second)
+	if r.Count() != 1 {
+		t.Fatal("retired within the budget")
+	}
+	// ...but one more tick past it retires the worker.
+	clk.advance(time.Second)
+	if r.Count() != 0 {
+		t.Fatal("silent worker not retired")
+	}
+	if r.Heartbeat(w.ID) {
+		t.Fatal("retired worker's heartbeat accepted")
+	}
+	if r.Retired() != 1 {
+		t.Fatalf("retired counter %d", r.Retired())
+	}
+	// Rejoining after retirement is a fresh membership.
+	w2 := r.Register("http://a:1")
+	if w2.ID == w.ID {
+		t.Fatal("retired ID reused")
+	}
+	if got := r.Live(); len(got) != 1 || got[0].URL != "http://a:1" {
+		t.Fatalf("live %v", got)
+	}
+}
+
+// TestRegistryReregisterKeepsIdentity pins that a live worker
+// re-registering (e.g. its join loop restarted) keeps its ID.
+func TestRegistryReregisterKeepsIdentity(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	r := NewRegistry(RegistryOptions{HeartbeatInterval: time.Second, Now: clk.now})
+	a := r.Register("http://a:1")
+	clk.advance(time.Second)
+	b := r.Register("http://a:1")
+	if a.ID != b.ID {
+		t.Fatalf("live re-registration changed identity: %s -> %s", a.ID, b.ID)
+	}
+	if r.Count() != 1 {
+		t.Fatalf("count %d", r.Count())
+	}
+}
+
+func TestRegistryDefaults(t *testing.T) {
+	r := NewRegistry(RegistryOptions{})
+	if r.TTL() != DefaultHeartbeatInterval*DefaultMissedBudget {
+		t.Fatalf("ttl %v", r.TTL())
+	}
+	if r.HeartbeatInterval() != DefaultHeartbeatInterval {
+		t.Fatalf("interval %v", r.HeartbeatInterval())
+	}
+}

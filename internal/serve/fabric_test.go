@@ -1,0 +1,408 @@
+package serve
+
+// Fabric conformance suite for the HTTP layer: whole-job result caching
+// with singleflight collapsing, the worker registry lifecycle, bearer
+// auth on every mutating route, and the request hardening paths (413
+// body limit, 429 backpressure).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/nocdr/nocdr/internal/fabric"
+)
+
+// resultBytes canonicalizes a terminal job's result document for
+// byte-comparison across jobs.
+func resultBytes(t *testing.T, st JobStatus) []byte {
+	t.Helper()
+	if st.State != StateDone {
+		t.Fatalf("job %s finished %s: %s", st.ID, st.State, st.Error)
+	}
+	data, err := json.Marshal(st.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// cacheStats fetches GET /v1/cache.
+func cacheStats(t *testing.T, base string) fabric.Stats {
+	t.Helper()
+	var doc struct {
+		Enabled bool         `json:"enabled"`
+		Stats   fabric.Stats `json:"stats"`
+	}
+	if code := getJSON(t, base+"/v1/cache", &doc); code != http.StatusOK {
+		t.Fatalf("GET /v1/cache: status %d", code)
+	}
+	if !doc.Enabled {
+		t.Fatal("cache endpoint reports disabled on a cache-enabled server")
+	}
+	return doc.Stats
+}
+
+// TestFabricCachedRemoveByteIdentical submits the same remove job
+// twice: the second must be served from the cache (cached:true) with a
+// result document byte-identical to the cold run, and a no_cache bypass
+// must recompute yet still produce the same bytes.
+func TestFabricCachedRemoveByteIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, Cache: fabric.NewCache(fabric.CacheOptions{})})
+	topo, _, routes := ringDesign(t)
+	body := map[string]any{"topology": topo, "routes": routes}
+
+	var sub submitResponse
+	if code := postJSON(t, ts.URL+"/v1/remove", body, &sub); code != http.StatusAccepted {
+		t.Fatalf("submit cold: status %d", code)
+	}
+	cold := waitTerminal(t, ts.URL, sub.ID)
+	if cold.Cached {
+		t.Fatal("cold run reported cached:true")
+	}
+	want := resultBytes(t, cold)
+
+	if code := postJSON(t, ts.URL+"/v1/remove", body, &sub); code != http.StatusAccepted {
+		t.Fatalf("submit warm: status %d", code)
+	}
+	warm := waitTerminal(t, ts.URL, sub.ID)
+	if !warm.Cached {
+		t.Fatal("identical resubmission was not served from the cache")
+	}
+	if got := resultBytes(t, warm); !bytes.Equal(want, got) {
+		t.Fatalf("cached result differs from cold:\ncold:\n%s\ncached:\n%s", want, got)
+	}
+
+	bypass := map[string]any{"topology": topo, "routes": routes, "options": map[string]any{"no_cache": true}}
+	if code := postJSON(t, ts.URL+"/v1/remove", bypass, &sub); code != http.StatusAccepted {
+		t.Fatalf("submit bypass: status %d", code)
+	}
+	fresh := waitTerminal(t, ts.URL, sub.ID)
+	if fresh.Cached {
+		t.Fatal("no_cache submission reported cached:true")
+	}
+	if got := resultBytes(t, fresh); !bytes.Equal(want, got) {
+		t.Fatalf("no_cache result differs from cold:\ncold:\n%s\nbypass:\n%s", want, got)
+	}
+}
+
+// TestFabricCachedSimulateByteIdentical extends the whole-job cache
+// check to /v1/simulate, whose result document embeds batch variants.
+func TestFabricCachedSimulateByteIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, Cache: fabric.NewCache(fabric.CacheOptions{})})
+	topo, traffic, routes := ringDesign(t)
+	body := map[string]any{
+		"topology": topo, "traffic": traffic, "routes": routes,
+		"config": map[string]any{"max_cycles": 2000, "seeds": []int64{0, 1}},
+	}
+	var sub submitResponse
+	if code := postJSON(t, ts.URL+"/v1/simulate", body, &sub); code != http.StatusAccepted {
+		t.Fatalf("submit cold: status %d", code)
+	}
+	want := resultBytes(t, waitTerminal(t, ts.URL, sub.ID))
+
+	if code := postJSON(t, ts.URL+"/v1/simulate", body, &sub); code != http.StatusAccepted {
+		t.Fatalf("submit warm: status %d", code)
+	}
+	warm := waitTerminal(t, ts.URL, sub.ID)
+	if !warm.Cached {
+		t.Fatal("identical simulate resubmission was not served from the cache")
+	}
+	if got := resultBytes(t, warm); !bytes.Equal(want, got) {
+		t.Fatalf("cached simulate result differs:\ncold:\n%s\ncached:\n%s", want, got)
+	}
+}
+
+// TestFabricSweepCellCache pins the per-cell cache wiring: a second
+// identical sweep job must answer every cell from the cache and produce
+// a byte-identical report document.
+func TestFabricSweepCellCache(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, SweepParallel: 2, Cache: fabric.NewCache(fabric.CacheOptions{})})
+	body := map[string]any{
+		"grid":  map[string]any{"benchmarks": []string{"mesh:3"}, "switches": []int{9}},
+		"seeds": []int64{0, 1},
+	}
+	var sub submitResponse
+	if code := postJSON(t, ts.URL+"/v1/sweep", body, &sub); code != http.StatusAccepted {
+		t.Fatalf("submit cold sweep: status %d", code)
+	}
+	want := resultBytes(t, waitTerminal(t, ts.URL, sub.ID))
+	before := cacheStats(t, ts.URL)
+
+	if code := postJSON(t, ts.URL+"/v1/sweep", body, &sub); code != http.StatusAccepted {
+		t.Fatalf("submit warm sweep: status %d", code)
+	}
+	if got := resultBytes(t, waitTerminal(t, ts.URL, sub.ID)); !bytes.Equal(want, got) {
+		t.Fatalf("cache-served sweep differs:\ncold:\n%s\ncached:\n%s", want, got)
+	}
+	after := cacheStats(t, ts.URL)
+	if hits := after.Hits - before.Hits; hits < 2 {
+		t.Fatalf("warm sweep hit the cache %d time(s), want >= 2 (one per cell)", hits)
+	}
+}
+
+// TestFabricConcurrentSubmissionsCollapse fires identical jobs
+// concurrently: however they interleave, the computation must run once
+// (misses stays at 1) and every other submission must be answered from
+// the flight or the cache, byte-identically.
+func TestFabricConcurrentSubmissionsCollapse(t *testing.T) {
+	const n = 6
+	_, ts := newTestServer(t, Options{Workers: n, Cache: fabric.NewCache(fabric.CacheOptions{})})
+	topo, _, routes := ringDesign(t)
+	body := map[string]any{"topology": topo, "routes": routes}
+
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var sub submitResponse
+			if code := postJSON(t, ts.URL+"/v1/remove", body, &sub); code != http.StatusAccepted {
+				t.Errorf("submit %d: status %d", i, code)
+				return
+			}
+			ids[i] = sub.ID
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	var want []byte
+	uncached := 0
+	for _, id := range ids {
+		st := waitTerminal(t, ts.URL, id)
+		got := resultBytes(t, st)
+		if want == nil {
+			want = got
+		} else if !bytes.Equal(want, got) {
+			t.Fatalf("concurrent submissions diverged:\n%s\nvs\n%s", want, got)
+		}
+		if !st.Cached {
+			uncached++
+		}
+	}
+	if uncached != 1 {
+		t.Fatalf("%d of %d concurrent submissions computed, want exactly 1", uncached, n)
+	}
+	st := cacheStats(t, ts.URL)
+	if st.Misses != 1 {
+		t.Fatalf("cache misses = %d after %d identical submissions, want 1 (stats %+v)", st.Misses, n, st)
+	}
+	if st.Hits+st.Collapsed != n-1 {
+		t.Fatalf("hits(%d) + collapsed(%d) = %d, want %d", st.Hits, st.Collapsed, st.Hits+st.Collapsed, n-1)
+	}
+}
+
+// TestFabricWorkerRegistryLifecycle drives the registry over HTTP:
+// register → listed; heartbeat → refreshed; silence past the missed-
+// heartbeat budget → retired (listed gone, heartbeat 404); re-register
+// → fresh identity.
+func TestFabricWorkerRegistryLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, HeartbeatInterval: 20 * time.Millisecond, MissedBudget: 2})
+
+	var reg struct {
+		ID                  string `json:"id"`
+		HeartbeatIntervalMS int64  `json:"heartbeat_interval_ms"`
+		TTLMS               int64  `json:"ttl_ms"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/workers/register", map[string]string{"url": "http://w1.example"}, &reg); code != http.StatusOK {
+		t.Fatalf("register: status %d", code)
+	}
+	if reg.ID == "" || reg.HeartbeatIntervalMS != 20 || reg.TTLMS != 40 {
+		t.Fatalf("register contract: %+v", reg)
+	}
+	var listed struct {
+		Workers []fabric.Worker `json:"workers"`
+		Count   int             `json:"count"`
+		Retired uint64          `json:"retired"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/workers", &listed); code != http.StatusOK || listed.Count != 1 {
+		t.Fatalf("workers after register: %d %+v", code, listed)
+	}
+	if listed.Workers[0].ID != reg.ID || listed.Workers[0].URL != "http://w1.example" {
+		t.Fatalf("listed worker: %+v", listed.Workers[0])
+	}
+
+	hb := func() int {
+		resp, err := http.Post(ts.URL+"/v1/workers/"+reg.ID+"/heartbeat", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := hb(); code != http.StatusNoContent {
+		t.Fatalf("heartbeat: status %d", code)
+	}
+
+	// Fall silent past the TTL: the worker must age out.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if code := getJSON(t, ts.URL+"/v1/workers", &listed); code != http.StatusOK {
+			t.Fatalf("workers poll: status %d", code)
+		}
+		if listed.Count == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never retired: %+v", listed)
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+	if listed.Retired != 1 {
+		t.Fatalf("retired counter = %d, want 1", listed.Retired)
+	}
+	if code := hb(); code != http.StatusNotFound {
+		t.Fatalf("heartbeat after retirement: status %d, want 404", code)
+	}
+
+	// Re-registration after retirement is a fresh join, not a resurrection.
+	old := reg.ID
+	if code := postJSON(t, ts.URL+"/v1/workers/register", map[string]string{"url": "http://w1.example"}, &reg); code != http.StatusOK {
+		t.Fatalf("re-register: status %d", code)
+	}
+	if reg.ID == old {
+		t.Fatalf("retired worker re-registered under its old identity %s", old)
+	}
+}
+
+// TestFabricAuthGuardsMutatingRoutes table-drives the bearer guard:
+// every mutating route must reject missing and wrong tokens with 401
+// (and the WWW-Authenticate challenge) and accept the right one; every
+// read route must stay open.
+func TestFabricAuthGuardsMutatingRoutes(t *testing.T) {
+	const token = "fleet-secret"
+	_, ts := newTestServer(t, Options{Workers: 1, AuthToken: token})
+
+	post := func(path, auth string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if auth != "" {
+			req.Header.Set("Authorization", auth)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	mutating := []string{
+		"/v1/remove",
+		"/v1/sweep",
+		"/v1/simulate",
+		"/v1/reconfigure",
+		"/v1/jobs/j-999/cancel",
+		"/v1/workers/register",
+		"/v1/workers/w-1/heartbeat",
+	}
+	for _, path := range mutating {
+		for _, auth := range []string{"", "Bearer wrong", "Basic abc"} {
+			resp := post(path, auth)
+			if resp.StatusCode != http.StatusUnauthorized {
+				t.Fatalf("POST %s with auth %q: status %d, want 401", path, auth, resp.StatusCode)
+			}
+			if ch := resp.Header.Get("WWW-Authenticate"); !strings.Contains(ch, "Bearer") {
+				t.Fatalf("POST %s: missing bearer challenge, got %q", path, ch)
+			}
+		}
+		if resp := post(path, "Bearer "+token); resp.StatusCode == http.StatusUnauthorized {
+			t.Fatalf("POST %s with the fleet token: still 401", path)
+		}
+	}
+
+	for _, path := range []string{"/healthz", "/v1/jobs", "/v1/workers", "/v1/cache"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusUnauthorized {
+			t.Fatalf("GET %s demanded credentials; reads must stay open", path)
+		}
+	}
+}
+
+// TestFabricBodyLimit pins the request-size guard: a body past
+// MaxBodyBytes must bounce with 413, not feed the decoder.
+func TestFabricBodyLimit(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, MaxBodyBytes: 512})
+	big := fmt.Sprintf(`{"pad": %q}`, strings.Repeat("x", 2048))
+	resp, err := http.Post(ts.URL+"/v1/remove", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+	// A body under the limit still decodes (and fails validation, not
+	// the size guard).
+	resp, err = http.Post(ts.URL+"/v1/remove", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("small invalid body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestFabricQueueFull429 pins HTTP backpressure: with the pool busy and
+// the queue full, a submission answers 429 with a Retry-After hint.
+func TestFabricQueueFull429(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 1})
+	t.Cleanup(s.Cancel)
+	topo, traffic, routes := foreverDesign(t)
+	body := map[string]any{
+		"topology": topo, "traffic": traffic, "routes": routes,
+		"config": map[string]any{"max_cycles": int64(1) << 40},
+	}
+	var sub submitResponse
+	if code := postJSON(t, ts.URL+"/v1/simulate", body, &sub); code != http.StatusAccepted {
+		t.Fatalf("submit occupant: status %d", code)
+	}
+	// Wait until the occupant leaves the queue for the worker slot, so
+	// the next submission deterministically fills the queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var st JobStatus
+		getJSON(t, ts.URL+"/v1/jobs/"+sub.ID, &st)
+		if st.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("occupant never started: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if code := postJSON(t, ts.URL+"/v1/simulate", body, &sub); code != http.StatusAccepted {
+		t.Fatalf("submit queued: status %d", code)
+	}
+
+	data, _ := json.Marshal(body)
+	resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submission: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 answer missing Retry-After")
+	}
+}

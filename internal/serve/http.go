@@ -3,35 +3,103 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	nocdr "github.com/nocdr/nocdr"
+	"github.com/nocdr/nocdr/internal/fabric"
 	"github.com/nocdr/nocdr/internal/nocerr"
 )
 
-// maxBodyBytes bounds request bodies; topologies and route tables for
-// even the largest sweeps are well under this.
-const maxBodyBytes = 32 << 20
-
-// Handler mounts the v1 API on a fresh mux.
+// Handler mounts the v1 API on a fresh mux. Mutating routes sit behind
+// the fleet bearer guard (a no-op when Options.AuthToken is empty);
+// reads stay open so dashboards and probes need no credentials.
 func (s *Server) Handler() http.Handler {
+	guard := func(h http.HandlerFunc) http.Handler {
+		return fabric.RequireBearer(s.opts.AuthToken, h)
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	mux.HandleFunc("POST /v1/remove", s.handleRemove)
-	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	mux.HandleFunc("POST /v1/reconfigure", s.handleReconfigure)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("POST /v1/remove", guard(s.handleRemove))
+	mux.Handle("POST /v1/sweep", guard(s.handleSweep))
+	mux.Handle("POST /v1/simulate", guard(s.handleSimulate))
+	mux.Handle("POST /v1/reconfigure", guard(s.handleReconfigure))
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
-	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
+	mux.Handle("POST /v1/jobs/{id}/cancel", guard(s.handleJobCancel))
+	mux.Handle("POST /v1/workers/register", guard(s.handleWorkerRegister))
+	mux.Handle("POST /v1/workers/{id}/heartbeat", guard(s.handleWorkerHeartbeat))
+	mux.HandleFunc("GET /v1/workers", s.handleWorkers)
+	mux.HandleFunc("GET /v1/cache", s.handleCache)
 	return mux
+}
+
+// handleHealthz is the liveness document: compatibility key "status"
+// plus role, uptime and fleet size, so a probe distinguishes a
+// coordinator from its workers without extra round-trips.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"role":      s.opts.Role,
+		"uptime_ms": time.Since(s.started).Milliseconds(),
+		"workers":   s.registry.Count(),
+	})
+}
+
+// handleWorkerRegister admits (or refreshes) a fleet worker and answers
+// with the heartbeat contract it must honor.
+func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		URL string `json:"url"`
+	}
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if strings.TrimSpace(req.URL) == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: worker url is required", nocerr.ErrInvalidInput))
+		return
+	}
+	wk := s.registry.Register(req.URL)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":                    wk.ID,
+		"heartbeat_interval_ms": s.registry.HeartbeatInterval().Milliseconds(),
+		"ttl_ms":                s.registry.TTL().Milliseconds(),
+	})
+}
+
+// handleWorkerHeartbeat refreshes a worker's liveness; 404 tells a
+// retired worker to re-register.
+func (s *Server) handleWorkerHeartbeat(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.registry.Heartbeat(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: worker %q (retired or never registered)", nocerr.ErrNotFound, id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	live := s.registry.Live()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workers": live,
+		"count":   len(live),
+		"retired": s.registry.Retired(),
+	})
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	st := s.opts.Cache.Stats() // nil-safe: zero counters when disabled
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled":  s.opts.Cache != nil,
+		"stats":    st,
+		"hit_rate": st.HitRate(),
+	})
 }
 
 // removeRequest is the POST /v1/remove body: the design to repair plus
@@ -45,6 +113,9 @@ type removeRequest struct {
 		Policy        string `json:"policy"`    // "", "best", "forward", "backward"
 		Selection     string `json:"selection"` // "", "smallest", "first"
 		FullRebuild   bool   `json:"full_rebuild"`
+		// NoCache forces recomputation, refreshing (never consulting)
+		// the result cache. It does not participate in the cache key.
+		NoCache bool `json:"no_cache"`
 	} `json:"options"`
 }
 
@@ -60,7 +131,7 @@ type removeResult struct {
 
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	var req removeRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	if req.Topology == nil || req.Routes == nil {
@@ -92,24 +163,30 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: unknown selection %q", nocerr.ErrInvalidInput, req.Options.Selection))
 		return
 	}
+	// The cache key spans every semantic input; the bypass flag must
+	// address the same entry it refreshes, so it is zeroed out.
+	keyReq := req
+	keyReq.Options.NoCache = false
 	s.enqueue(w, "remove", func(ctx context.Context, j *Job) (any, error) {
-		sess := s.session(j, opts...)
-		res, err := sess.RemoveDeadlocks(ctx, req.Topology, req.Routes)
-		if err != nil {
-			return nil, err
-		}
-		free, err := sess.DeadlockFree(res.Topology, res.Routes)
-		if err != nil {
-			return nil, err
-		}
-		return removeResult{
-			DeadlockFree:   free,
-			InitialAcyclic: res.InitialAcyclic,
-			AddedVCs:       res.AddedVCs,
-			Iterations:     res.Iterations,
-			Topology:       res.Topology,
-			Routes:         res.Routes,
-		}, nil
+		return s.cachedResult(j, "serve/remove", keyReq, req.Options.NoCache, func() (any, error) {
+			sess := s.session(j, opts...)
+			res, err := sess.RemoveDeadlocks(ctx, req.Topology, req.Routes)
+			if err != nil {
+				return nil, err
+			}
+			free, err := sess.DeadlockFree(res.Topology, res.Routes)
+			if err != nil {
+				return nil, err
+			}
+			return removeResult{
+				DeadlockFree:   free,
+				InitialAcyclic: res.InitialAcyclic,
+				AddedVCs:       res.AddedVCs,
+				Iterations:     res.Iterations,
+				Topology:       res.Topology,
+				Routes:         res.Routes,
+			}, nil
+		})
 	})
 }
 
@@ -132,6 +209,9 @@ type sweepRequest struct {
 		VCLimit     int    `json:"vc_limit"`
 		FullRebuild bool   `json:"full_rebuild"`
 		Policy      string `json:"policy"` // "", "best", "forward", "backward"
+		// NoCache forces recomputation of every cell, refreshing (never
+		// consulting) the per-cell result cache.
+		NoCache bool `json:"no_cache"`
 	} `json:"options"`
 }
 
@@ -156,7 +236,7 @@ func parseShard(spec string) (index, count int, err error) {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req sweepRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	if len(req.Grid.Seeds) == 0 {
@@ -201,6 +281,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			Sim:        req.Sim,
 			ShardIndex: shardIndex,
 			ShardCount: shardCount,
+			NoCache:    req.Options.NoCache,
 		})
 	})
 }
@@ -227,6 +308,11 @@ type simulateRequest struct {
 		Seeds []int64   `json:"seeds"`
 		Loads []float64 `json:"loads"`
 	} `json:"config"`
+	Options struct {
+		// NoCache forces recomputation, refreshing (never consulting)
+		// the result cache.
+		NoCache bool `json:"no_cache"`
+	} `json:"options"`
 }
 
 // simulateResult is a finished simulate job's result document.
@@ -274,7 +360,7 @@ type batchSimulateResult struct {
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req simulateRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	if req.Topology == nil || req.Traffic == nil || req.Routes == nil {
@@ -292,27 +378,33 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = 100000
 	}
+	keyReq := req
+	keyReq.Options.NoCache = false
 	if len(req.Config.Seeds) > 0 || len(req.Config.Loads) > 0 {
 		spec := nocdr.SimSpec{Seeds: req.Config.Seeds, Loads: req.Config.Loads, Base: cfg}
 		s.enqueue(w, "simulate", func(ctx context.Context, j *Job) (any, error) {
-			bs, err := s.session(j).SimulateBatch(ctx, req.Topology, req.Traffic, req.Routes, spec)
-			if err != nil {
-				return nil, err
-			}
-			out := batchSimulateResult{Variants: make([]variantResult, len(bs.Variants))}
-			for i, v := range bs.Variants {
-				out.Variants[i] = variantResult{Seed: v.Seed, Load: v.Load, simulateResult: toSimulateResult(v.Stats)}
-			}
-			return out, nil
+			return s.cachedResult(j, "serve/simulate", keyReq, req.Options.NoCache, func() (any, error) {
+				bs, err := s.session(j).SimulateBatch(ctx, req.Topology, req.Traffic, req.Routes, spec)
+				if err != nil {
+					return nil, err
+				}
+				out := batchSimulateResult{Variants: make([]variantResult, len(bs.Variants))}
+				for i, v := range bs.Variants {
+					out.Variants[i] = variantResult{Seed: v.Seed, Load: v.Load, simulateResult: toSimulateResult(v.Stats)}
+				}
+				return out, nil
+			})
 		})
 		return
 	}
 	s.enqueue(w, "simulate", func(ctx context.Context, j *Job) (any, error) {
-		st, err := s.session(j).Simulate(ctx, req.Topology, req.Traffic, req.Routes, cfg)
-		if err != nil {
-			return nil, err
-		}
-		return toSimulateResult(st), nil
+		return s.cachedResult(j, "serve/simulate", keyReq, req.Options.NoCache, func() (any, error) {
+			st, err := s.session(j).Simulate(ctx, req.Topology, req.Traffic, req.Routes, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return toSimulateResult(st), nil
+		})
 	})
 }
 
@@ -342,7 +434,7 @@ type reconfigureResult struct {
 
 func (s *Server) handleReconfigure(w http.ResponseWriter, r *http.Request) {
 	var req reconfigureRequest
-	if !decode(w, r, &req) {
+	if !s.decode(w, r, &req) {
 		return
 	}
 	if req.Design == nil || len(req.Faults) == 0 {
@@ -395,11 +487,13 @@ func (s *Server) handleReconfigure(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// enqueue submits the job and answers 202 with its ID and links.
+// enqueue submits the job and answers 202 with its ID and links. A full
+// backlog is load, not failure: the client is told when to come back.
 func (s *Server) enqueue(w http.ResponseWriter, kind string, run func(ctx context.Context, j *Job) (any, error)) {
 	j, err := s.submit(kind, run)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{
@@ -481,10 +575,17 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// decode reads a bounded JSON body, answering 400 on failure.
-func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+// decode reads a bounded JSON body: oversized bodies are answered 413
+// (the limit is Options.MaxBodyBytes), malformed ones 400.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("%w: request body exceeds %d bytes", nocerr.ErrInvalidInput, mbe.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return false
 	}

@@ -17,7 +17,16 @@
 //	GET  /v1/jobs/{id}         one job's status (+result when done)
 //	GET  /v1/jobs/{id}/events  Server-Sent Events progress stream
 //	POST /v1/jobs/{id}/cancel  cooperative cancellation
-//	GET  /healthz              liveness
+//	POST /v1/workers/register  fleet join: {"url": ...} → id + heartbeat contract
+//	POST /v1/workers/{id}/heartbeat  fleet liveness (404 once retired)
+//	GET  /v1/workers           live worker registry
+//	GET  /v1/cache             result-cache counters
+//	GET  /healthz              liveness: status, role, uptime, worker count
+//
+// With Options.AuthToken set, every mutating endpoint (the POSTs above)
+// requires `Authorization: Bearer <token>`; reads stay open. A full job
+// backlog answers 429 with Retry-After rather than failing the request
+// permanently.
 //
 // Concurrency model: submissions enqueue a job and return immediately
 // with its ID; a fixed pool of workers (Options.Workers) executes jobs,
@@ -39,6 +48,7 @@ import (
 	"time"
 
 	nocdr "github.com/nocdr/nocdr"
+	"github.com/nocdr/nocdr/internal/fabric"
 	"github.com/nocdr/nocdr/internal/nocerr"
 )
 
@@ -48,7 +58,8 @@ type Options struct {
 	// Default max(8, NumCPU).
 	Workers int
 	// QueueDepth bounds the backlog of accepted-but-not-started jobs;
-	// submissions beyond it are rejected with 503. Default 1024.
+	// submissions beyond it are rejected with 429 + Retry-After.
+	// Default 1024.
 	QueueDepth int
 	// SweepParallel is the per-sweep runner worker count. Default
 	// NumCPU.
@@ -59,6 +70,26 @@ type Options struct {
 	// long-running server holds steady-state memory. Queued and
 	// running jobs are never evicted. Default 512.
 	MaxRetainedJobs int
+	// MaxBodyBytes bounds request bodies; larger submissions are
+	// answered 413. Default 32 MiB.
+	MaxBodyBytes int64
+	// Cache, when non-nil, content-addresses job results: /v1/remove and
+	// /v1/simulate jobs whose semantic inputs hash to a stored entry are
+	// answered from it (status carries cached:true), concurrent
+	// identical submissions collapse to one execution, and sweep jobs
+	// consult it per cell. GET /v1/cache exposes the counters.
+	Cache *fabric.Cache
+	// AuthToken guards every mutating endpoint behind shared bearer
+	// auth ("" = open). Reads (job status, events, healthz, worker
+	// list, cache stats) stay open.
+	AuthToken string
+	// Role is what /healthz reports this instance as: "coordinator"
+	// (default) or "worker" (an instance that joined a fleet).
+	Role string
+	// HeartbeatInterval/MissedBudget parameterize the worker registry
+	// (defaults fabric.DefaultHeartbeatInterval/DefaultMissedBudget).
+	HeartbeatInterval time.Duration
+	MissedBudget      int
 }
 
 func (o Options) withDefaults() Options {
@@ -73,6 +104,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxRetainedJobs < 1 {
 		o.MaxRetainedJobs = 512
+	}
+	if o.MaxBodyBytes < 1 {
+		o.MaxBodyBytes = 32 << 20
+	}
+	if o.Role == "" {
+		o.Role = "coordinator"
 	}
 	return o
 }
@@ -116,8 +153,16 @@ type Job struct {
 	wake     chan struct{} // closed+replaced on every append/state change
 	result   any
 	errMsg   string
+	cached   bool
 	started  time.Time
 	finished time.Time
+}
+
+// setCached marks the job's result as served from the result cache.
+func (j *Job) setCached() {
+	j.mu.Lock()
+	j.cached = true
+	j.mu.Unlock()
 }
 
 // emit appends one progress event and wakes streamers. Payload must be
@@ -152,6 +197,7 @@ func (j *Job) snapshot() JobStatus {
 		State:  j.state,
 		Events: len(j.events),
 		Error:  j.errMsg,
+		Cached: j.cached,
 	}
 	if j.state.terminal() {
 		st.Result = j.result
@@ -173,6 +219,9 @@ type JobStatus struct {
 	// without the SSE stream.
 	LastEvent *event `json:"last_event,omitempty"`
 	Error     string `json:"error,omitempty"`
+	// Cached marks a result served from the content-addressed cache
+	// (byte-identical to a recomputation) rather than computed.
+	Cached bool `json:"cached,omitempty"`
 	// Result is the job's outcome document, present once terminal.
 	Result any `json:"result,omitempty"`
 }
@@ -180,9 +229,11 @@ type JobStatus struct {
 // Server owns the job registry and the worker pool. Create with New,
 // mount Handler on an http.Server, and Close on shutdown.
 type Server struct {
-	opts    Options
-	baseCtx context.Context
-	stop    context.CancelFunc
+	opts     Options
+	baseCtx  context.Context
+	stop     context.CancelFunc
+	registry *fabric.Registry
+	started  time.Time
 
 	mu    sync.Mutex
 	jobs  map[string]*Job
@@ -201,6 +252,11 @@ func New(opts Options) *Server {
 		opts:    opts,
 		baseCtx: ctx,
 		stop:    cancel,
+		registry: fabric.NewRegistry(fabric.RegistryOptions{
+			HeartbeatInterval: opts.HeartbeatInterval,
+			MissedBudget:      opts.MissedBudget,
+		}),
+		started: time.Now(),
 		jobs:    make(map[string]*Job),
 		queue:   make(chan *Job, opts.QueueDepth),
 	}
@@ -393,13 +449,49 @@ func (s *Server) statuses() []JobStatus {
 // the job's buffered feed under the job's own mutex, so any number of
 // SSE streamers and pollers can observe it race-free.
 func (s *Server) session(j *Job, extra ...nocdr.Option) *nocdr.Session {
-	opts := append([]nocdr.Option{
+	opts := []nocdr.Option{
 		nocdr.WithParallel(s.opts.SweepParallel),
 		nocdr.WithProgress(func(e nocdr.Event) {
 			j.emit(e.Kind.String(), eventPayload(e))
 		}),
-	}, extra...)
+	}
+	if s.opts.Cache != nil {
+		// Sweep jobs consult the server's result cache per cell.
+		opts = append(opts, nocdr.WithResultCache(s.opts.Cache))
+	}
+	opts = append(opts, extra...)
 	return nocdr.NewSession(opts...)
+}
+
+// cachedResult runs compute under the server's whole-job result cache:
+// the job's semantic inputs (kind + parts, hashed content-addressed)
+// either hit a stored document, collapse onto an identical in-flight
+// computation, or compute cold and store. Both the cold and the cached
+// path decode the stored canonical bytes, so the result document a
+// client reads is byte-identical either way. With no cache configured,
+// compute runs directly.
+func (s *Server) cachedResult(j *Job, kind string, parts any, noCache bool, compute func() (any, error)) (any, error) {
+	if s.opts.Cache == nil {
+		return compute()
+	}
+	data, cached, err := s.opts.Cache.Do(fabric.Key(kind, parts), noCache, func() ([]byte, error) {
+		res, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cached {
+		j.setCached()
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("serve: corrupt cached result: %w", err)
+	}
+	return doc, nil
 }
 
 // eventPayload shapes a nocdr.Event for the wire.

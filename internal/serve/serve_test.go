@@ -432,13 +432,22 @@ func TestSweepJobReportShape(t *testing.T) {
 
 func TestHealthz(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 1})
-	var hz map[string]string
+	var hz map[string]any
 	if code := getJSON(t, ts.URL+"/healthz", &hz); code != http.StatusOK || hz["status"] != "ok" {
 		t.Fatalf("healthz: %d %v", code, hz)
 	}
+	if hz["role"] != "coordinator" {
+		t.Fatalf("healthz role %v, want coordinator", hz["role"])
+	}
+	if _, ok := hz["uptime_ms"]; !ok {
+		t.Fatalf("healthz missing uptime_ms: %v", hz)
+	}
+	if _, ok := hz["workers"]; !ok {
+		t.Fatalf("healthz missing workers: %v", hz)
+	}
 }
 
-// TestQueueOverflow pins the 503 backpressure path.
+// TestQueueOverflow pins the backpressure path behind the HTTP 429.
 func TestQueueOverflow(t *testing.T) {
 	s := New(Options{Workers: 1, QueueDepth: 1})
 	defer s.Close()
@@ -725,7 +734,7 @@ func TestLocalCluster(t *testing.T) {
 		t.Fatalf("got %d workers, want 3", len(urls))
 	}
 	for _, u := range urls {
-		var health map[string]string
+		var health map[string]any
 		if code := getJSON(t, u+"/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
 			t.Fatalf("worker %s unhealthy: %d %v", u, code, health)
 		}

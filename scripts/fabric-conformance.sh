@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# End-to-end conformance of the job fabric: a coordinator plus two
+# workers that join it over the registry protocol, all behind a shared
+# bearer token. The same sweep runs twice through `nocexp sweep
+# -coordinator` with an on-disk result cache; the second run must be
+# answered (almost) entirely from the cache — >= 90% hit rate — and both
+# reports must be byte-identical. Also asserts the auth guard (401
+# without the token) and the healthz/workers/cache read surface.
+set -euo pipefail
+
+PORT="${PORT:-18090}"
+BASE="http://127.0.0.1:${PORT}"
+TOKEN="fabric-ci-$$"
+DIR="$(mktemp -d)"
+trap 'kill "${COORD_PID:-}" "${W1_PID:-}" "${W2_PID:-}" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+echo "== building binaries"
+go build -o "$DIR/nocdr" ./cmd/nocdr
+go build -o "$DIR/nocexp" ./cmd/nocexp
+
+echo "== starting coordinator on :$PORT and two joining workers"
+"$DIR/nocdr" serve -addr "127.0.0.1:${PORT}" -token "$TOKEN" &
+COORD_PID=$!
+for i in $(seq 1 50); do
+    curl -fsS "$BASE/healthz" > /dev/null 2>&1 && break
+    sleep 0.1
+done
+"$DIR/nocdr" serve -addr "127.0.0.1:$((PORT+1))" -join "$BASE" -token "$TOKEN" &
+W1_PID=$!
+"$DIR/nocdr" serve -addr "127.0.0.1:$((PORT+2))" -join "$BASE" -token "$TOKEN" &
+W2_PID=$!
+for i in $(seq 1 50); do
+    [ "$(curl -fsS "$BASE/v1/workers" | jq .count)" = "2" ] && break
+    sleep 0.1
+done
+
+echo "== asserting fleet state"
+curl -fsS "$BASE/healthz" | jq -e '.status == "ok" and .role == "coordinator" and .workers == 2' > /dev/null
+curl -fsS "http://127.0.0.1:$((PORT+1))/healthz" | jq -e '.role == "worker"' > /dev/null
+
+echo "== asserting the auth guard (mutating POST without the token must 401)"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/v1/sweep" -d '{}')
+[ "$CODE" = "401" ] || { echo "expected 401 without token, got $CODE" >&2; exit 1; }
+
+SWEEP_ARGS=(-coordinator "$BASE" -token "$TOKEN" -cache-dir "$DIR/cache"
+    -benchmarks mesh:4,torus:4x4:transpose -routing west-first,odd-even
+    -faults 1 -seeds 0,1 -quiet)
+
+echo "== sweep run 1 (cold cache)"
+"$DIR/nocexp" sweep "${SWEEP_ARGS[@]}" -json "$DIR/run1.json" 2> "$DIR/run1.err"
+grep '^cache:' "$DIR/run1.err"
+
+echo "== sweep run 2 (warm cache)"
+"$DIR/nocexp" sweep "${SWEEP_ARGS[@]}" -json "$DIR/run2.json" 2> "$DIR/run2.err"
+grep '^cache:' "$DIR/run2.err"
+
+echo "== asserting byte-identical reports"
+cmp "$DIR/run1.json" "$DIR/run2.json"
+
+echo "== asserting >= 90% cache hit rate on run 2"
+HITS=$(sed -n 's/^cache: \([0-9]*\) hits, \([0-9]*\) misses.*/\1/p' "$DIR/run2.err")
+MISSES=$(sed -n 's/^cache: \([0-9]*\) hits, \([0-9]*\) misses.*/\2/p' "$DIR/run2.err")
+TOTAL=$((HITS + MISSES))
+[ "$TOTAL" -gt 0 ] || { echo "run 2 performed no cache lookups" >&2; exit 1; }
+[ $((HITS * 100)) -ge $((TOTAL * 90)) ] || {
+    echo "cache hit rate $HITS/$TOTAL is below 90%" >&2; exit 1; }
+
+echo "== mid-sweep leave: stopping worker 2, sweeping a fresh grid on the survivor"
+kill "$W2_PID" 2>/dev/null || true
+wait "$W2_PID" 2>/dev/null || true
+"$DIR/nocexp" sweep -coordinator "$BASE" -token "$TOKEN" \
+    -benchmarks mesh:3x3:hotspot -seeds 0,1 -quiet -json "$DIR/run3.json" 2> /dev/null
+jq -e '.results | length == 2' "$DIR/run3.json" > /dev/null
+
+echo "fabric-conformance: OK ($HITS/$TOTAL hits on the warm run)"

@@ -48,6 +48,9 @@ type Session struct {
 	faults        int
 	maxPaths      int
 	workers       []string
+	workerSource  WorkerSource
+	workerToken   string
+	resultCache   ResultCache
 	progress      func(Event)
 	onBreak       func(BreakRecord) // legacy RemovalOptions.OnBreak passthrough
 }
@@ -123,6 +126,28 @@ func WithMaxPaths(n int) Option { return func(s *Session) { s.maxPaths = n } }
 func WithWorkers(urls ...string) Option {
 	return func(s *Session) { s.workers = append([]string(nil), urls...) }
 }
+
+// WithWorkerSource attaches live worker membership to Sweep's
+// distributed dispatch, on top of (or instead of) the static WithWorkers
+// list: workers the source reports that were never seen before are
+// admitted mid-run and immediately take unowned shards. The fabric
+// package's coordinator-registry watcher implements the contract. With a
+// source attached, Sweep may start with zero workers and wait for the
+// first join.
+func WithWorkerSource(src WorkerSource) Option { return func(s *Session) { s.workerSource = src } }
+
+// WithWorkerAuth attaches the fleet bearer token to every request a
+// distributed Sweep sends its workers ("" = open fleet).
+func WithWorkerAuth(token string) Option { return func(s *Session) { s.workerToken = token } }
+
+// WithResultCache attaches a content-addressed result cache to Sweep:
+// before evaluating a cell the cache is consulted under the cell's
+// semantic key (job identity + every option that changes its result +
+// an engine-version salt), and every cleanly computed cell is stored
+// back. A cache-served report is byte-identical to a cold one — the
+// stored bytes are the canonical cell encoding. With WithWorkers, whole
+// shards already cached are served locally and never dispatched.
+func WithResultCache(c ResultCache) Option { return func(s *Session) { s.resultCache = c } }
 
 // WithProgress streams the Session's Event feed to fn: cycle breaks and
 // VC additions during removal, cell completions during sweeps, epoch
@@ -289,6 +314,8 @@ func (s *Session) Sweep(ctx context.Context, grid SweepGrid, opts SweepOptions) 
 		Sim:         opts.Sim,
 		ShardIndex:  opts.ShardIndex,
 		ShardCount:  opts.ShardCount,
+		CellCache:   s.resultCache,
+		NoCache:     opts.NoCache,
 	}
 	if s.progress != nil {
 		ropts.OnResult = func(i, total int, res SweepResult) {
@@ -297,12 +324,12 @@ func (s *Session) Sweep(ctx context.Context, grid SweepGrid, opts SweepOptions) 
 	}
 	var rep *SweepReport
 	var err error
-	if len(s.workers) > 0 {
+	if len(s.workers) > 0 || s.workerSource != nil {
 		if opts.ShardCount != 0 {
 			return nil, wrapErr(fmt.Errorf("%w: WithWorkers and a SweepOptions shard filter are mutually exclusive", nocerr.ErrInvalidInput))
 		}
 		ropts.ShardIndex, ropts.ShardCount = 0, 0
-		sh := &runner.Sharded{Workers: s.workers}
+		sh := &runner.Sharded{Workers: s.workers, Source: s.workerSource, AuthToken: s.workerToken}
 		if s.progress != nil {
 			sh.OnAssign = func(shard, shards int, worker string) {
 				s.progress(Event{Kind: EventShardAssigned, Shard: shard, ShardTotal: shards, Worker: worker})

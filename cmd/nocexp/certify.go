@@ -1,0 +1,92 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/nocdr/nocdr/internal/certify"
+)
+
+// runCertify implements `nocexp certify`: the independent-checker leg as
+// a standalone tool. It reads a design bundle (the `nocexp design` /
+// sweep-cell artifact), re-derives the CDG from first principles through
+// internal/certify — which shares no code with the removal engine — and
+// writes the certificate JSON. The verification gate lives in the tool:
+// a verdict contradicting the claimed mode, or a witness that fails its
+// own independent validation, exits non-zero.
+func runCertify(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("certify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	designPath := fs.String("design", "", "design bundle to certify (required; the `nocexp design` artifact)")
+	pre := fs.Bool("pre", false,
+		"certify a pre-removal design: expect a cyclic CDG and emit the smallest dependency cycle as the counterexample witness (default expects acyclic and emits a topological order)")
+	out := fs.String("out", "", "write the certificate JSON here (\"-\" or empty for stdout)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *designPath == "" {
+		return fmt.Errorf("-design is required")
+	}
+	mode := "post"
+	if *pre {
+		mode = "pre"
+	}
+
+	design, err := os.ReadFile(*designPath)
+	if err != nil {
+		return err
+	}
+	cert, err := certify.Check(design, mode)
+	if err != nil {
+		return err
+	}
+	// The checker validates its own witness before anyone trusts it: the
+	// emitted certificate must survive an independent re-check against
+	// the design bytes, or the tool exits non-zero without writing it.
+	if err := certify.Validate(cert, design); err != nil {
+		return fmt.Errorf("verification FAILED: %w", err)
+	}
+
+	data, err := json.MarshalIndent(cert, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" || *out == "-" {
+		if _, err := stdout.Write(data); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+
+	verdict := "acyclic"
+	if !cert.Acyclic {
+		verdict = fmt.Sprintf("cyclic (smallest cycle: %d channels)", len(cert.Cycle))
+	}
+	fmt.Fprintf(stderr, "certify: %s is %s — %d channels, %d dependencies, sha256 %s…\n",
+		*designPath, verdict, cert.Channels, cert.Dependencies, cert.DesignSHA256[:12])
+
+	// The mode is the caller's claim; the tool enforces it. A post-removal
+	// design that certifies cyclic is the exact failure this checker
+	// exists to catch, and a pre design certifying acyclic means the
+	// caller is testing the wrong artifact.
+	if *pre && cert.Acyclic {
+		return fmt.Errorf("verification FAILED: -pre expects a cyclic design, but it certifies acyclic")
+	}
+	if !*pre && !cert.Acyclic {
+		return fmt.Errorf("verification FAILED: design certifies CYCLIC after removal (cycle witness has %d channels)", len(cert.Cycle))
+	}
+	return nil
+}

@@ -29,6 +29,16 @@
 //	nocexp reconfigure -design design.json -fault 17          # one event
 //	nocexp reconfigure -design design.json -fault-count 2 -fault-seed 1 -differential
 //	nocexp reconfigure -design design.json -storm -out evolved.json -delta deltas.json
+//
+// The certify subcommand is the independent checker: it re-reads an
+// emitted design bundle, rebuilds the channel-dependency graph from
+// first principles (sharing no code with the removal engine), and writes
+// a machine-checkable certificate — a topological order as the
+// acyclicity witness, or the smallest dependency cycle as the
+// counterexample witness with -pre:
+//
+//	nocexp certify -design design.json -out cert.json
+//	nocexp certify -design pre.json -pre     # expect a cyclic pre-removal design
 package main
 
 import (
@@ -55,6 +65,8 @@ func main() {
 			sub = runDesign
 		case "reconfigure":
 			sub = runReconfigure
+		case "certify":
+			sub = runCertify
 		}
 		if sub != nil {
 			// Ctrl-C / SIGTERM cancel the subcommand cooperatively: sweep

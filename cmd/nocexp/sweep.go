@@ -60,6 +60,8 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	fullRebuild := fs.Bool("full-rebuild", false, "use the full-rebuild Remove path instead of the incremental one")
 	simulate := fs.Bool("simulate", false,
 		"run flit-level wormhole simulations per cell: a pre-removal negative control (must deadlock when the CDG is cyclic) and a post-removal measurement (must never deadlock); a post-removal deadlock fails the sweep")
+	certifyCells := fs.Bool("certify", false,
+		"re-check every cell's pre- and post-removal design through the independent checker (internal/certify, no shared code with the engine); any three-leg disagreement fails the sweep")
 	simCycles := fs.Int64("sim-cycles", 0, "simulation horizon per run (default 20000)")
 	simLoad := fs.Float64("sim-load", 0, "simulation injection load factor in (0,1] (default 1.0 = saturation)")
 	simAdaptive := fs.String("sim-adaptive", "",
@@ -146,6 +148,7 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		FullRebuild: *fullRebuild,
 		Simulate:    *simulate,
 		Sim:         runner.SimParams{Cycles: *simCycles, Load: *simLoad, Adaptive: adaptiveSel},
+		Certify:     *certifyCells,
 		NoCache:     *noCache,
 	}
 	if !*quiet {
@@ -198,6 +201,11 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 			return err
 		}
 	}
+	if *certifyCells {
+		if err := writeCertSummary(stdout, rep); err != nil {
+			return err
+		}
+	}
 	if len(rep.Curves) > 0 {
 		if err := writeCurveSummary(stdout, rep); err != nil {
 			return err
@@ -247,6 +255,32 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 			return fmt.Errorf("verification FAILED: -simulate was set but no cell ran a simulation")
 		}
 	}
+	if *certifyCells {
+		// Same shape as the simulate gate: any cell whose independent
+		// re-check disagrees with the engine (or, with -simulate, with the
+		// empirical leg) exits non-zero, as does a sweep that certified
+		// nothing.
+		certified := 0
+		for _, r := range rep.Results {
+			if r.Certify == nil {
+				continue
+			}
+			certified++
+			if !r.Certify.Agree {
+				cell := fmt.Sprintf("%s@%d/%s/seed%d", r.Benchmark, r.SwitchCount, r.Policy, r.Seed)
+				if r.Routing != "" {
+					cell += "/" + r.Routing
+				}
+				if r.Faults > 0 {
+					cell += fmt.Sprintf("/f%d", r.Faults)
+				}
+				return fmt.Errorf("verification FAILED: %s: certified re-check disagrees: %s", cell, r.Certify.Mismatch)
+			}
+		}
+		if certified == 0 && !rep.Canceled {
+			return fmt.Errorf("verification FAILED: -certify was set but no cell was certified")
+		}
+	}
 	if rep.Canceled {
 		done := 0
 		for _, r := range rep.Results {
@@ -291,6 +325,29 @@ func writeSimSummary(w io.Writer, rep *runner.Report) error {
 	}
 	_, err := fmt.Fprintf(w, "\nverification: %d cells simulated; negative control: %d cyclic pre-removal designs, %d deadlocked; post-removal deadlocks: %d\n",
 		simulated, preRan, preDeadlocked, postDeadlocked)
+	return err
+}
+
+// writeCertSummary prints the certified-checker verdict of a sweep: how
+// many cells were re-checked from first principles, the pre-removal
+// verdict split, and how many cells disagreed with the engine (which
+// must be zero).
+func writeCertSummary(w io.Writer, rep *runner.Report) error {
+	var certified, preCyclic, disagree int
+	for _, r := range rep.Results {
+		if r.Certify == nil {
+			continue
+		}
+		certified++
+		if !r.Certify.PreAcyclic {
+			preCyclic++
+		}
+		if !r.Certify.Agree {
+			disagree++
+		}
+	}
+	_, err := fmt.Fprintf(w, "\ncertified: %d cells re-checked independently; %d cyclic pre-removal designs witnessed; disagreements: %d\n",
+		certified, preCyclic, disagree)
 	return err
 }
 

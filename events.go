@@ -101,6 +101,11 @@ type SweepOptions struct {
 	Simulate bool
 	// Sim parameterizes the simulations when Simulate is set.
 	Sim SimParams
+	// Certify adds the independent-checker verification stage to every
+	// cell: the pre- and post-removal designs are re-checked from first
+	// principles and the three-leg agreement verdict lands in the cell's
+	// Certify field.
+	Certify bool
 	// ShardIndex/ShardCount restrict the sweep to the grid cells the
 	// stable shard hash assigns to shard ShardIndex of ShardCount — the
 	// worker side of the sharded backend (the /v1/sweep?shard=i/n

@@ -32,6 +32,10 @@ type cellKeyParts struct {
 	Sim         SimParams `json:"sim"`
 	MaxPaths    int       `json:"max_paths"`
 	Loads       []float64 `json:"loads,omitempty"`
+	// Certify participates with omitempty so uncertified runs keep their
+	// pre-existing addresses; certified and uncertified evaluations of
+	// the same cell are distinct results and never alias.
+	Certify bool `json:"certify,omitempty"`
 }
 
 // CellKey is the content address of one grid cell's evaluation under the
@@ -47,6 +51,7 @@ func CellKey(j Job, opts Options, loads []float64) string {
 		FullRebuild: opts.FullRebuild,
 		Simulate:    opts.Simulate,
 		MaxPaths:    opts.maxPaths,
+		Certify:     opts.Certify,
 	}
 	if opts.Simulate {
 		p.Sim = opts.Sim.withDefaults()

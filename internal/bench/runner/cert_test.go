@@ -1,0 +1,256 @@
+package runner_test
+
+// The certified-checker verification stage: three-leg agreement on real
+// sweeps, byte-identity across scheduling modes, cache-key
+// discrimination, and the poisoned-salt regression (a cached cell
+// carrying a certificate from a different checker build must re-certify,
+// never reuse it).
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/nocdr/nocdr/internal/bench/runner"
+	"github.com/nocdr/nocdr/internal/certify"
+)
+
+func certGrid() runner.Grid {
+	// A torus under DOR is the textbook cyclic pre-removal design; the
+	// mesh is its acyclic control. Two seeds exercise the grouped
+	// scheduler's per-member derivation.
+	return runner.Grid{
+		Benchmarks:   []string{"mesh:3x3", "torus:4x4"},
+		SwitchCounts: []int{9},
+		Policies:     []string{"smallest"},
+		Seeds:        []int64{0, 1},
+	}
+}
+
+// TestCertifyStage runs a simulated + certified sweep and asserts the
+// three legs agree on every cell: the checker's pre verdict matches the
+// structural one (torus DOR cyclic, mesh DOR acyclic), every post design
+// certifies acyclic, and no cell records a mismatch.
+func TestCertifyStage(t *testing.T) {
+	rep, err := runner.Run(certGrid(), runner.Options{
+		Simulate: true,
+		Sim:      runner.SimParams{Cycles: 3000, Load: 0.8},
+		Certify:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		if r.Error != "" {
+			t.Fatalf("%s: %s", r.Benchmark, r.Error)
+		}
+		c := r.Certify
+		if c == nil {
+			t.Fatalf("%s seed %d: no certify leg", r.Benchmark, r.Seed)
+		}
+		if !c.Agree {
+			t.Fatalf("%s seed %d: three-leg disagreement: %s", r.Benchmark, r.Seed, c.Mismatch)
+		}
+		if c.Salt != certify.Salt {
+			t.Fatalf("%s: certificate salt %q", r.Benchmark, c.Salt)
+		}
+		if !c.PostAcyclic || c.PostSHA256 == "" {
+			t.Fatalf("%s: post leg %+v", r.Benchmark, c)
+		}
+		if c.PreAcyclic != r.InitialAcyclic {
+			t.Fatalf("%s: checker pre=%v, structural pre=%v", r.Benchmark, c.PreAcyclic, r.InitialAcyclic)
+		}
+		if !c.PreAcyclic && c.PreCycleLen == 0 {
+			t.Fatalf("%s: cyclic pre design without a counterexample witness", r.Benchmark)
+		}
+	}
+	// The grid must include both a cyclic and an acyclic pre design, or
+	// the agreement assertions above were vacuous on one side.
+	pre := map[bool]bool{}
+	for _, r := range rep.Results {
+		pre[r.Certify.PreAcyclic] = true
+	}
+	if !pre[true] || !pre[false] {
+		t.Fatalf("grid covered only pre_acyclic=%v designs", pre)
+	}
+}
+
+// TestCertifyByteIdentical pins the determinism contract for certified
+// runs: serial, parallel, and uncached-vs-cached sweeps produce
+// byte-identical reports.
+func TestCertifyByteIdentical(t *testing.T) {
+	grid := certGrid()
+	opts := runner.Options{Simulate: true, Sim: runner.SimParams{Cycles: 3000, Load: 0.8}, Certify: true}
+
+	serial, err := runner.Run(grid, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := opts
+	par.Parallel = 4
+	parallel, err := runner.Run(grid, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cacheOpts := opts
+	cacheOpts.CellCache = newMapCache()
+	cold, err := runner.Run(grid, cacheOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := runner.Run(grid, cacheOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	enc := func(r *runner.Report) []byte {
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := enc(serial)
+	for name, rep := range map[string]*runner.Report{"parallel": parallel, "cold-cached": cold, "warm-cached": warm} {
+		if got := enc(rep); !bytes.Equal(want, got) {
+			t.Fatalf("%s report differs from serial", name)
+		}
+	}
+}
+
+// TestCertifyCellKey pins that the certify flag participates in the cell
+// address: a certified and an uncertified evaluation of the same cell
+// must never alias (their Results differ).
+func TestCertifyCellKey(t *testing.T) {
+	job := runner.Job{Benchmark: "mesh:3x3", SwitchCount: 9, Policy: "smallest"}
+	plain := runner.CellKey(job, runner.Options{}, nil)
+	certified := runner.CellKey(job, runner.Options{Certify: true}, nil)
+	if plain == certified {
+		t.Fatal("certified and uncertified cells share a cache address")
+	}
+}
+
+// TestCertifyPoisonedSaltRecomputes is the poisoned-salt regression: a
+// cache entry stored under the correct address but carrying a
+// certificate from a different checker build (possible when the cache
+// persisted across a checker change without an engine-salt bump) must be
+// treated as a miss — the cell re-certifies and the refreshed entry
+// carries the running salt.
+func TestCertifyPoisonedSaltRecomputes(t *testing.T) {
+	grid := runner.Grid{
+		Benchmarks:   []string{"torus:3x3"},
+		SwitchCounts: []int{9},
+		Policies:     []string{"smallest"},
+		Seeds:        []int64{0},
+	}
+	opts := runner.Options{Certify: true, CellCache: newMapCache()}
+	cache := opts.CellCache.(*mapCache)
+
+	first, err := runner.Run(grid, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.len() == 0 {
+		t.Fatal("certified run stored nothing")
+	}
+
+	// Poison every stored entry: same key, stale checker salt.
+	key := runner.CellKey(grid.Jobs()[0], opts, nil)
+	data, ok := cache.Get(key)
+	if !ok {
+		t.Fatal("cell entry missing from cache")
+	}
+	var r runner.Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Certify == nil {
+		t.Fatal("stored result has no certify leg")
+	}
+	r.Certify.Salt = "nocdr-certify/0-stale"
+	r.Certify.Agree = false
+	r.Certify.Mismatch = "poisoned"
+	poisoned, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put(key, poisoned)
+
+	// A cached run must reject the poisoned hit and re-certify...
+	second, err := runner.Run(grid, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := second.Results[0].Certify
+	if got == nil || got.Salt != certify.Salt || !got.Agree {
+		t.Fatalf("poisoned entry was reused: %+v", got)
+	}
+	// ...and refresh the stored entry with the running salt.
+	data, _ = cache.Get(key)
+	var refreshed runner.Result
+	if err := json.Unmarshal(data, &refreshed); err != nil {
+		t.Fatal(err)
+	}
+	if refreshed.Certify == nil || refreshed.Certify.Salt != certify.Salt {
+		t.Fatalf("cache still holds the stale certificate: %+v", refreshed.Certify)
+	}
+	// The recomputed report matches the first run byte for byte.
+	var a, b bytes.Buffer
+	if err := first.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := second.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("re-certified report differs from the original")
+	}
+}
+
+// TestCertifyNoCacheBypassesCertificates pins the -no-cache half of the
+// fix: with NoCache set, even a correctly-salted cached cell is
+// recomputed (lookups are skipped entirely), and a poisoned entry is
+// overwritten by the refresh.
+func TestCertifyNoCacheBypassesCertificates(t *testing.T) {
+	grid := runner.Grid{
+		Benchmarks:   []string{"mesh:3x3"},
+		SwitchCounts: []int{9},
+		Policies:     []string{"smallest"},
+		Seeds:        []int64{0},
+	}
+	cache := newMapCache()
+	opts := runner.Options{Certify: true, CellCache: cache}
+	if _, err := runner.Run(grid, opts); err != nil {
+		t.Fatal(err)
+	}
+	key := runner.CellKey(grid.Jobs()[0], opts, nil)
+	data, ok := cache.Get(key)
+	if !ok {
+		t.Fatal("cell entry missing")
+	}
+	var r runner.Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatal(err)
+	}
+	r.Certify.Salt = "stale"
+	poisoned, _ := json.Marshal(r)
+	cache.Put(key, poisoned)
+
+	noCache := opts
+	noCache.NoCache = true
+	rep, err := runner.Run(grid, noCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := rep.Results[0].Certify; c == nil || c.Salt != certify.Salt {
+		t.Fatalf("no-cache run served a stored certificate: %+v", c)
+	}
+	data, _ = cache.Get(key)
+	var refreshed runner.Result
+	if err := json.Unmarshal(data, &refreshed); err != nil {
+		t.Fatal(err)
+	}
+	if refreshed.Certify.Salt != certify.Salt {
+		t.Fatal("no-cache run did not refresh the poisoned entry")
+	}
+}

@@ -169,6 +169,15 @@ func runGroup(ctx context.Context, jobs []Job, members []int, results []Result, 
 		}
 	}
 
+	// The certification, like the removal, is design-level: the checker
+	// runs once per group and only the agreement check (which consults
+	// each member's simulation) is derived per cell — byte-identical to
+	// an independent runJob of every member.
+	var ce *certEval
+	if opts.Certify {
+		ce = de.certify()
+	}
+
 	base := Result{Cores: cores}
 	base.Links = de.point.Links
 	base.MaxRouteLen = de.point.MaxRouteLen
@@ -185,6 +194,9 @@ func runGroup(ctx context.Context, jobs []Job, members []int, results []Result, 
 		emit(func(j Job) Result {
 			r := base
 			r.Job = j
+			if ce != nil {
+				r.Certify = ce.withSim(nil)
+			}
 			return r
 		})
 		return
@@ -206,6 +218,9 @@ func runGroup(ctx context.Context, jobs []Job, members []int, results []Result, 
 		r := base
 		r.Job = jobs[i]
 		r.Sim = sims[k]
+		if ce != nil {
+			r.Certify = ce.withSim(sims[k])
+		}
 		results[i] = r
 	}
 }

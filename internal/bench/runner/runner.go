@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/nocdr/nocdr/internal/certify"
 	"github.com/nocdr/nocdr/internal/core"
 	"github.com/nocdr/nocdr/internal/nocerr"
 	"github.com/nocdr/nocdr/internal/regular"
@@ -242,6 +243,11 @@ type Result struct {
 	// Options.Simulate).
 	Sim *SimResult `json:"sim,omitempty"`
 
+	// Certify is the independent-checker verification outcome (only
+	// with Options.Certify): the certified leg's verdicts and the
+	// three-leg agreement flag.
+	Certify *CertResult `json:"certify,omitempty"`
+
 	RemovalTime time.Duration `json:"-"`
 }
 
@@ -294,6 +300,11 @@ type Options struct {
 	// Sim parameterizes the simulations; the per-job seed is derived from
 	// the job's seed on top of these.
 	Sim SimParams
+	// Certify adds the independent-checker verification stage to every
+	// job: the pre- and post-removal designs are re-checked from first
+	// principles by internal/certify and the three-leg agreement verdict
+	// lands in Result.Certify.
+	Certify bool
 	// Progress, when non-nil, receives one line per completed job.
 	Progress io.Writer
 	// OnResult, when non-nil, receives every completed job's slot index,
@@ -373,11 +384,20 @@ func RunContext(ctx context.Context, grid Grid, opts Options) (*Report, error) {
 				continue
 			}
 			var r Result
-			if err := json.Unmarshal(data, &r); err == nil && r.Job == j {
-				results[i] = r
-				scheduled[i] = true
-				cached[i] = true
+			if err := json.Unmarshal(data, &r); err != nil || r.Job != j {
+				continue
 			}
+			// Certified runs never reuse a certificate issued by a
+			// different checker build: a hit whose stored salt does not
+			// match the running checker (possible when the cache
+			// persisted across a checker change without an engine-salt
+			// bump) is treated as a miss and the cell re-certifies.
+			if opts.Certify && (r.Certify == nil || r.Certify.Salt != certify.Salt) {
+				continue
+			}
+			results[i] = r
+			scheduled[i] = true
+			cached[i] = true
 		}
 	}
 
@@ -511,6 +531,7 @@ func runJob(ctx context.Context, job Job, opts Options) Result {
 		FullRebuild: opts.FullRebuild,
 		Simulate:    opts.Simulate,
 		Sim:         opts.Sim,
+		Certify:     opts.Certify,
 		MaxPaths:    opts.maxPaths,
 	}
 	// Derive the simulation seed from the job seed so the seeds axis
@@ -577,6 +598,7 @@ func runJob(ctx context.Context, job Job, opts Options) Result {
 	res.Breaks = p.Breaks
 	res.Paths = p.Paths
 	res.Sim = p.Sim
+	res.Certify = p.Cert
 	res.RemovalTime = p.RemovalTime
 	return res
 }
@@ -613,6 +635,13 @@ func (r Result) oneLine() string {
 			id, r.RemovalVCs, r.OrderingVCs, r.Breaks, r.RemovalTime.Round(time.Microsecond))
 		if r.Sim != nil {
 			line += " sim:" + r.Sim.summary()
+		}
+		if r.Certify != nil {
+			if r.Certify.Agree {
+				line += " cert:agree"
+			} else {
+				line += " cert:DISAGREE"
+			}
 		}
 		return line
 	}

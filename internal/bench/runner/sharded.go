@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/nocdr/nocdr/internal/certify"
 	"github.com/nocdr/nocdr/internal/core"
 	"github.com/nocdr/nocdr/internal/fabric"
 	"github.com/nocdr/nocdr/internal/nocerr"
@@ -126,6 +127,7 @@ type shardRequest struct {
 	Grid     Grid      `json:"grid"`
 	Simulate bool      `json:"simulate"`
 	Sim      SimParams `json:"sim"`
+	Certify  bool      `json:"certify,omitempty"`
 	Parallel int       `json:"parallel,omitempty"`
 	Options  struct {
 		VCLimit     int    `json:"vc_limit"`
@@ -221,6 +223,12 @@ func (d *Sharded) RunContext(ctx context.Context, grid Grid, opts Options) (*Rep
 				}
 				var r Result
 				if err := json.Unmarshal(data, &r); err != nil || r.Job != jobs[i] {
+					break
+				}
+				// Same poisoned-salt guard as the local pre-pass: a stored
+				// certificate from a different checker build voids the hit
+				// (and, at shard granularity, the whole shard re-runs).
+				if opts.Certify && (r.Certify == nil || r.Certify.Salt != certify.Salt) {
 					break
 				}
 				hits = append(hits, r)
@@ -468,6 +476,7 @@ func (d *Sharded) runShard(ctx context.Context, worker string, grid Grid, shard,
 		Grid:     grid,
 		Simulate: opts.Simulate,
 		Sim:      opts.Sim,
+		Certify:  opts.Certify,
 		Parallel: d.WorkerParallel,
 	}
 	req.Options.VCLimit = opts.VCLimit

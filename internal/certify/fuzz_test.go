@@ -1,0 +1,118 @@
+package certify
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// fuzzSeed is a small valid post-removal-shaped bundle: a 2-link path
+// with one flow, trivially acyclic.
+const fuzzSeed = `{
+	"topology": {"links": [{"id":0,"from":0,"to":1,"vcs":2},{"id":1,"from":1,"to":2,"vcs":2}], "faults": []},
+	"routes": {"routes": [
+		{"flow":0,"channels":[{"link":0,"vc":0},{"link":1,"vc":0}]},
+		{"flow":1,"channels":[{"link":0,"vc":1},{"link":1,"vc":1}]}]}
+}`
+
+// FuzzCertificate drives arbitrary bytes through the checker and pins
+// the certificate laws on every design that parses:
+//
+//  1. a certificate always validates against the bytes it was issued for;
+//  2. certification is deterministic (byte-identical across runs);
+//  3. mutating one dependency edge of a certified acyclic design —
+//     appending a route that reverses an existing dependency, closing a
+//     2-cycle — must flip the verdict, and the stale witness must be
+//     rejected even when the digest and edge counts are forged to match
+//     the mutated bytes.
+func FuzzCertificate(f *testing.F) {
+	f.Add([]byte(fuzzSeed))
+	f.Add([]byte(`{"topology":{"links":[{"id":0,"vcs":1}]},"routes":{"routes":[{"flow":0,"channels":[{"link":0,"vc":0}]}]}}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cert, err := Check(data, "post")
+		if err != nil {
+			return // malformed designs are out of scope; typed rejection is its own test
+		}
+		// Law 1: self-validation.
+		if verr := Validate(cert, data); verr != nil {
+			t.Fatalf("fresh certificate rejected: %v", verr)
+		}
+		// Law 2: determinism.
+		again, err := Check(data, "post")
+		if err != nil {
+			t.Fatalf("second Check errored: %v", err)
+		}
+		ja, _ := json.Marshal(cert)
+		jb, _ := json.Marshal(again)
+		if string(ja) != string(jb) {
+			t.Fatalf("nondeterministic certificate:\n%s\n%s", ja, jb)
+		}
+		if !cert.Acyclic {
+			return
+		}
+		// Law 3: one-edge mutation must be caught. Reverse an existing
+		// dependency u -> v by appending a route [v, u]: the mutated
+		// design holds a 2-cycle by construction.
+		mutated, ok := addBackEdge(t, data)
+		if !ok {
+			return
+		}
+		mcert, err := Check(mutated, "post")
+		if err != nil {
+			t.Fatalf("mutated design no longer parses: %v", err)
+		}
+		if mcert.Acyclic {
+			t.Fatalf("back edge did not flip the verdict; order %v", cert.TopoOrder)
+		}
+		// Forge everything forgeable: digest and edge count now match the
+		// mutated bytes. The witness itself must still be rejected.
+		forged := *cert
+		forged.DesignSHA256 = sha256Hex(mutated)
+		forged.Dependencies = mcert.Dependencies
+		if verr := Validate(&forged, mutated); verr == nil {
+			t.Fatal("stale topological order validated against a mutated design")
+		}
+	})
+}
+
+// addBackEdge appends a single-route mutation reversing the first
+// dependency edge of the rebuilt graph. Returns ok=false when the design
+// has no dependencies to reverse.
+func addBackEdge(t *testing.T, data []byte) ([]byte, bool) {
+	t.Helper()
+	g, err := rebuild(data)
+	if err != nil {
+		t.Fatalf("re-rebuild: %v", err)
+	}
+	u, v := -1, -1
+	for from, out := range g.adj {
+		if len(out) > 0 {
+			u, v = from, out[0]
+			break
+		}
+	}
+	if u < 0 {
+		return nil, false
+	}
+	var d design
+	if err := json.Unmarshal(data, &d); err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	var routes routesDoc
+	if err := json.Unmarshal(d.Routes, &routes); err != nil {
+		t.Fatalf("re-parse routes: %v", err)
+	}
+	routes.Routes = append(routes.Routes, struct {
+		Flow     int       `json:"flow"`
+		Channels []Channel `json:"channels"`
+	}{Flow: 1 << 20, Channels: []Channel{g.channels[v], g.channels[u]}})
+	rraw, err := json.Marshal(routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated, err := json.Marshal(design{Topology: d.Topology, Routes: rraw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mutated, true
+}

@@ -1,0 +1,129 @@
+package certify_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/nocdr/nocdr/internal/certify"
+)
+
+// TestNegativeDesigns feeds the checker hand-built pathological bundles.
+// Structurally valid cyclic designs must yield the correct counterexample
+// witness; schema violations must yield the matching typed error.
+func TestNegativeDesigns(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		// wantErr: the typed validation error expected, nil when a
+		// certificate should be issued.
+		wantErr error
+		// wantCycle: expected counterexample witness length (0 = acyclic).
+		wantCycle int
+	}{
+		{
+			name: "hidden 2-cycle",
+			// Two links, two flows crossing in opposite orders: the CDG
+			// holds 0:0 -> 1:0 and 1:0 -> 0:0, a 2-cycle invisible to any
+			// per-flow check.
+			json: `{
+				"topology": {"links": [{"id":0,"from":0,"to":1,"vcs":1},{"id":1,"from":1,"to":0,"vcs":1}], "faults": []},
+				"routes": {"routes": [
+					{"flow":0,"channels":[{"link":0,"vc":0},{"link":1,"vc":0}]},
+					{"flow":1,"channels":[{"link":1,"vc":0},{"link":0,"vc":0}]}]}
+			}`,
+			wantCycle: 2,
+		},
+		{
+			name: "self-loop",
+			// A route that crosses the same channel twice in a row: the
+			// dependency 0:0 -> 0:0 is a 1-cycle.
+			json: `{
+				"topology": {"links": [{"id":0,"from":0,"to":0,"vcs":1}], "faults": []},
+				"routes": {"routes": [{"flow":0,"channels":[{"link":0,"vc":0},{"link":0,"vc":0}]}]}
+			}`,
+			wantCycle: 1,
+		},
+		{
+			name: "dangling VC reference",
+			// Link 0 provisions a single VC; the route asks for vc 1.
+			json: `{
+				"topology": {"links": [{"id":0,"from":0,"to":1,"vcs":1}], "faults": []},
+				"routes": {"routes": [{"flow":0,"channels":[{"link":0,"vc":1}]}]}
+			}`,
+			wantErr: certify.ErrDanglingVC,
+		},
+		{
+			name: "unknown link reference",
+			json: `{
+				"topology": {"links": [{"id":0,"from":0,"to":1,"vcs":2}], "faults": []},
+				"routes": {"routes": [{"flow":0,"channels":[{"link":7,"vc":0}]}]}
+			}`,
+			wantErr: certify.ErrDanglingVC,
+		},
+		{
+			name: "route crosses faulted link",
+			json: `{
+				"topology": {"links": [{"id":0,"from":0,"to":1,"vcs":1},{"id":1,"from":1,"to":2,"vcs":1}], "faults": [1]},
+				"routes": {"routes": [{"flow":0,"channels":[{"link":0,"vc":0},{"link":1,"vc":0}]}]}
+			}`,
+			wantErr: certify.ErrFaultedLink,
+		},
+		{
+			name:    "missing topology section",
+			json:    `{"routes": {"routes": [{"flow":0,"channels":[{"link":0,"vc":0}]}]}}`,
+			wantErr: certify.ErrSchema,
+		},
+		{
+			name: "empty routes section",
+			json: `{
+				"topology": {"links": [{"id":0,"from":0,"to":1,"vcs":1}], "faults": []},
+				"routes": {}
+			}`,
+			wantErr: certify.ErrSchema,
+		},
+		{
+			name: "zero-VC link",
+			json: `{
+				"topology": {"links": [{"id":0,"from":0,"to":1,"vcs":0}], "faults": []},
+				"routes": {"routes": [{"flow":0,"channels":[]}]}
+			}`,
+			wantErr: certify.ErrSchema,
+		},
+		{
+			name: "fault names unknown link",
+			json: `{
+				"topology": {"links": [{"id":0,"from":0,"to":1,"vcs":1}], "faults": [9]},
+				"routes": {"routes": [{"flow":0,"channels":[{"link":0,"vc":0}]}]}
+			}`,
+			wantErr: certify.ErrSchema,
+		},
+		{
+			name:    "not JSON at all",
+			json:    `]]][[[`,
+			wantErr: certify.ErrSchema,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cert, err := certify.Check([]byte(tc.json), "pre")
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("err = %v, want %v", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Check: %v", err)
+			}
+			if cert.Acyclic {
+				t.Fatal("pathological design certified acyclic")
+			}
+			if len(cert.Cycle) != tc.wantCycle {
+				t.Fatalf("cycle witness %v has length %d, want %d", cert.Cycle, len(cert.Cycle), tc.wantCycle)
+			}
+			if err := certify.Validate(cert, []byte(tc.json)); err != nil {
+				t.Fatalf("cycle witness does not validate: %v", err)
+			}
+		})
+	}
+}

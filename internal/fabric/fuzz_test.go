@@ -1,0 +1,71 @@
+package fabric
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCacheKey pins the content-address laws under arbitrary inputs:
+// keys are deterministic, salt/kind/payload all participate in the
+// address (changing any one yields a disjoint key), and a Put under one
+// key is returned verbatim by Get for that key and invisible to any
+// other.
+func FuzzCacheKey(f *testing.F) {
+	f.Add("sweep-cell", "nocdr-engine/8", []byte(`{"policy":"cheapest"}`), []byte(`{"added_vcs":3}`))
+	f.Add("remove", "nocdr-engine/7", []byte(`{}`), []byte(``))
+	f.Add("", "", []byte(nil), []byte(nil))
+	f.Fuzz(func(t *testing.T, kind, salt string, payload, result []byte) {
+		parts := struct {
+			Payload []byte `json:"payload"`
+		}{payload}
+
+		k1 := keyWithSalt(salt, kind, parts)
+		k2 := keyWithSalt(salt, kind, parts)
+		if k1 != k2 {
+			t.Fatalf("nondeterministic key: %s vs %s", k1, k2)
+		}
+		if len(k1) != 64 {
+			t.Fatalf("key %q is not a SHA-256 hex digest", k1)
+		}
+
+		// Salt and kind are both separators in the preimage: perturbing
+		// either must move the address.
+		if k := keyWithSalt(salt+"x", kind, parts); k == k1 {
+			t.Fatal("salt does not participate in the address")
+		}
+		if k := keyWithSalt(salt, kind+"x", parts); k == k1 {
+			t.Fatal("kind does not participate in the address")
+		}
+		// The salt/kind boundary must be unambiguous: moving a byte across
+		// the separator must not produce the same key. (A kind whose first
+		// byte IS the NUL separator genuinely aliases; real kinds are
+		// compile-time constants and never contain NUL.)
+		if kind != "" && kind[0] != 0 {
+			shifted := keyWithSalt(salt+kind[:1], kind[1:], parts)
+			if shifted == k1 {
+				t.Fatal("salt/kind concatenation is ambiguous")
+			}
+		}
+		if k := keyWithSalt(salt, kind, struct {
+			Payload []byte `json:"payload"`
+		}{append(append([]byte(nil), payload...), 0)}); k == k1 {
+			t.Fatal("payload does not participate in the address")
+		}
+
+		// Round-trip through the cache: stored bytes come back verbatim
+		// under their key and only their key.
+		c := NewCache(CacheOptions{MaxEntries: 8})
+		c.Put(k1, result)
+		got, ok := c.Get(k1)
+		if !ok {
+			t.Fatal("stored entry missing")
+		}
+		if !bytes.Equal(got, result) {
+			t.Fatalf("cache returned %q, stored %q", got, result)
+		}
+		other := keyWithSalt(salt+"y", kind, parts)
+		if _, ok := c.Get(other); ok {
+			t.Fatal("disjoint key hit the stored entry")
+		}
+	})
+}

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"github.com/nocdr/nocdr/internal/certify"
+	"github.com/nocdr/nocdr/internal/fabric"
+)
+
+// TestJobCertificateRemove submits a remove job and fetches its
+// certificate: the independent checker re-derives the CDG from the
+// result document's topology + routes and witnesses acyclicity.
+func TestJobCertificateRemove(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	topo, _, routes := ringDesign(t)
+	var sub submitResponse
+	if code := postJSON(t, ts.URL+"/v1/remove", map[string]any{
+		"topology": topo, "routes": routes,
+	}, &sub); code != http.StatusAccepted {
+		t.Fatalf("POST /v1/remove: status %d", code)
+	}
+	if st := waitTerminal(t, ts.URL, sub.ID); st.State != StateDone {
+		t.Fatalf("job state %s (error %q)", st.State, st.Error)
+	}
+
+	var cert certify.Certificate
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+sub.ID+"/certificate", &cert); code != http.StatusOK {
+		t.Fatalf("GET certificate: status %d", code)
+	}
+	if !cert.Acyclic {
+		t.Fatal("removed design certified cyclic")
+	}
+	if len(cert.TopoOrder) == 0 || len(cert.TopoOrder) != cert.Channels {
+		t.Fatalf("witness covers %d of %d channels", len(cert.TopoOrder), cert.Channels)
+	}
+	if cert.Salt != certify.Salt || cert.CheckerVersion != certify.Version {
+		t.Fatalf("checker identity %q v%d", cert.Salt, cert.CheckerVersion)
+	}
+	if cert.DesignSHA256 == "" || cert.Dependencies == 0 {
+		t.Fatalf("certificate incomplete: %+v", cert)
+	}
+}
+
+// TestJobCertificateReconfigure certifies the evolved design of a
+// committed reconfigure job: the bundle under the result's "design" key
+// is certified whole, faulted links excluded from the rebuilt CDG.
+func TestJobCertificateReconfigure(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	design, faults := reconfigDesignJSON(t)
+	var sub submitResponse
+	if code := postJSON(t, ts.URL+"/v1/reconfigure", map[string]any{
+		"design": design, "faults": faults,
+		"options": map[string]any{"skip_sim": true},
+	}, &sub); code != http.StatusAccepted {
+		t.Fatalf("POST /v1/reconfigure: status %d", code)
+	}
+	if st := waitTerminal(t, ts.URL, sub.ID); st.State != StateDone {
+		t.Fatalf("job state %s (error %q)", st.State, st.Error)
+	}
+
+	var cert certify.Certificate
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+sub.ID+"/certificate", &cert); code != http.StatusOK {
+		t.Fatalf("GET certificate: status %d", code)
+	}
+	if !cert.Acyclic || len(cert.TopoOrder) != cert.Channels {
+		t.Fatalf("evolved design certificate %+v", cert)
+	}
+}
+
+// TestJobCertificateRejects pins the endpoint's refusals: unknown jobs
+// 404, non-design job kinds 400, and unfinished jobs 409.
+func TestJobCertificateRejects(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	if code := getJSON(t, ts.URL+"/v1/jobs/nope/certificate", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d", code)
+	}
+
+	// A simulate job never certifies, finished or not.
+	topo, traffic, routes := ringDesign(t)
+	var sim submitResponse
+	if code := postJSON(t, ts.URL+"/v1/simulate", map[string]any{
+		"topology": topo, "traffic": traffic, "routes": routes,
+		"config": map[string]any{"max_cycles": int64(100)},
+	}, &sim); code != http.StatusAccepted {
+		t.Fatalf("submit simulate: status %d", code)
+	}
+	waitTerminal(t, ts.URL, sim.ID)
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+sim.ID+"/certificate", nil); code != http.StatusBadRequest {
+		t.Fatalf("simulate job certificate: status %d", code)
+	}
+
+	// An in-flight remove job answers 409 until it completes. The forever
+	// simulation occupies the single worker, so the remove stays queued.
+	blocker := submitForeverSim(t, ts.URL)
+	var sub submitResponse
+	if code := postJSON(t, ts.URL+"/v1/remove", map[string]any{
+		"topology": topo, "routes": routes,
+	}, &sub); code != http.StatusAccepted {
+		t.Fatalf("submit remove: status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+sub.ID+"/certificate", nil); code != http.StatusConflict {
+		t.Fatalf("queued job certificate: status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/jobs/"+blocker+"/cancel", nil, nil); code != http.StatusAccepted {
+		t.Fatalf("cancel blocker: status %d", code)
+	}
+	if st := waitTerminal(t, ts.URL, sub.ID); st.State != StateDone {
+		t.Fatalf("remove job state %s (error %q)", st.State, st.Error)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+sub.ID+"/certificate", nil); code != http.StatusOK {
+		t.Fatalf("finished job certificate: status %d", code)
+	}
+}
+
+// TestSweepCertifyField pins the wire plumbing of the sweep request's
+// "certify" flag: every cell of the answered report carries an agreeing
+// certify leg.
+func TestSweepCertifyField(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, SweepParallel: 2})
+	var sub submitResponse
+	if code := postJSON(t, ts.URL+"/v1/sweep", map[string]any{
+		"grid": map[string]any{
+			"benchmarks": []string{"mesh:3x3"},
+			"switches":   []int{9},
+			"policies":   []string{"smallest"},
+		},
+		"seeds":   []int64{0},
+		"certify": true,
+	}, &sub); code != http.StatusAccepted {
+		t.Fatalf("POST /v1/sweep: status %d", code)
+	}
+	st := waitTerminal(t, ts.URL, sub.ID)
+	if st.State != StateDone {
+		t.Fatalf("sweep state %s (error %q)", st.State, st.Error)
+	}
+	data, err := json.Marshal(st.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Results []struct {
+			Certify *struct {
+				Salt  string `json:"salt"`
+				Agree bool   `json:"agree"`
+			} `json:"certify"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) == 0 {
+		t.Fatal("empty sweep report")
+	}
+	for i, r := range rep.Results {
+		if r.Certify == nil || !r.Certify.Agree || r.Certify.Salt != certify.Salt {
+			t.Fatalf("cell %d certify leg %+v", i, r.Certify)
+		}
+	}
+}
+
+// TestJobCertificateCachedResult pins that a cache-served remove job
+// certifies identically to its computed twin: the certificate is derived
+// from the canonical result bytes either way.
+func TestJobCertificateCachedResult(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, Cache: fabric.NewCache(fabric.CacheOptions{})})
+	topo, _, routes := ringDesign(t)
+	submit := func() JobStatus {
+		var sub submitResponse
+		if code := postJSON(t, ts.URL+"/v1/remove", map[string]any{
+			"topology": topo, "routes": routes,
+		}, &sub); code != http.StatusAccepted {
+			t.Fatalf("POST /v1/remove: status %d", code)
+		}
+		st := waitTerminal(t, ts.URL, sub.ID)
+		if st.State != StateDone {
+			t.Fatalf("job state %s (error %q)", st.State, st.Error)
+		}
+		return st
+	}
+	cold := submit()
+	warm := submit()
+	if !warm.Cached {
+		t.Fatal("second identical remove job was not cache-served")
+	}
+	var certCold, certWarm certify.Certificate
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+cold.ID+"/certificate", &certCold); code != http.StatusOK {
+		t.Fatalf("cold certificate: status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+warm.ID+"/certificate", &certWarm); code != http.StatusOK {
+		t.Fatalf("warm certificate: status %d", code)
+	}
+	if certCold.DesignSHA256 != certWarm.DesignSHA256 || !certWarm.Acyclic {
+		t.Fatalf("cached job certified differently: cold %s warm %s",
+			certCold.DesignSHA256, certWarm.DesignSHA256)
+	}
+}

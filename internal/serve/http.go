@@ -12,6 +12,7 @@ import (
 	"time"
 
 	nocdr "github.com/nocdr/nocdr"
+	"github.com/nocdr/nocdr/internal/certify"
 	"github.com/nocdr/nocdr/internal/fabric"
 	"github.com/nocdr/nocdr/internal/nocerr"
 )
@@ -31,6 +32,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/reconfigure", guard(s.handleReconfigure))
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/certificate", s.handleJobCertificate)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.Handle("POST /v1/jobs/{id}/cancel", guard(s.handleJobCancel))
 	mux.Handle("POST /v1/workers/register", guard(s.handleWorkerRegister))
@@ -200,6 +202,9 @@ type sweepRequest struct {
 	Loads    []float64       `json:"loads"`
 	Simulate bool            `json:"simulate"`
 	Sim      nocdr.SimParams `json:"sim"`
+	// Certify adds the independent-checker verification stage to every
+	// cell (the nocexp sweep -certify flag).
+	Certify bool `json:"certify"`
 	// Parallel overrides the server's per-sweep runner worker count.
 	Parallel int `json:"parallel"`
 	// Options carries the per-cell removal policy, so a sharded
@@ -279,6 +284,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return sess.Sweep(ctx, req.Grid, nocdr.SweepOptions{
 			Simulate:   req.Simulate,
 			Sim:        req.Sim,
+			Certify:    req.Certify,
 			ShardIndex: shardIndex,
 			ShardCount: shardCount,
 			NoCache:    req.Options.NoCache,
@@ -517,6 +523,71 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleJobCertificate re-checks a finished remove or reconfigure job's
+// output design through the independent checker (internal/certify) and
+// answers with the machine-checkable certificate: a topological order of
+// the rebuilt channel-dependency graph as the acyclicity witness. The
+// certificate is derived on demand from the stored result document, so
+// cached and recomputed jobs certify identically.
+func (s *Server) handleJobCertificate(w http.ResponseWriter, r *http.Request) {
+	j, err := s.job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	st := j.snapshot()
+	if st.Kind != "remove" && st.Kind != "reconfigure" {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: certificates are issued for remove and reconfigure jobs, not %q", nocerr.ErrInvalidInput, st.Kind))
+		return
+	}
+	if st.State != StateDone {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("%w: job %s is %s; a certificate requires a completed job", nocerr.ErrInvalidInput, st.ID, st.State))
+		return
+	}
+	// The result document is either the typed struct (computed this
+	// process) or the decoded canonical cache bytes; re-marshaling
+	// normalizes both to the same JSON, from which the design bundle is
+	// carved: reconfigure results carry it whole under "design", remove
+	// results as sibling "topology"/"routes" fields.
+	doc, err := json.Marshal(st.Result)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	var envelope struct {
+		Design   json.RawMessage `json:"design"`
+		Topology json.RawMessage `json:"topology"`
+		Routes   json.RawMessage `json:"routes"`
+	}
+	if err := json.Unmarshal(doc, &envelope); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	designJSON := []byte(envelope.Design)
+	if len(designJSON) == 0 || string(designJSON) == "null" {
+		designJSON, err = json.Marshal(struct {
+			Topology json.RawMessage `json:"topology"`
+			Routes   json.RawMessage `json:"routes"`
+		}{envelope.Topology, envelope.Routes})
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	cert, err := certify.Check(designJSON, "post")
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("certify: %w", err))
+		return
+	}
+	if err := certify.Validate(cert, designJSON); err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("certify: witness validation failed: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, cert)
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Independent re-check of a `nocexp certify` acyclicity certificate,
+# deliberately written in shell + jq so it shares no code — not even a
+# language runtime — with the Go checker it audits. Given the design
+# bundle and its certificate, it re-verifies the witness from raw JSON:
+#
+#   1. the certificate's design_sha256 matches sha256sum of the bundle,
+#   2. the claimed checker identity is the current one,
+#   3. the topological order is a permutation of exactly the live
+#      channels (every (link, vc) of every non-faulted link, no more,
+#      no fewer, no duplicates),
+#   4. every dependency edge — each consecutive channel pair of every
+#      route in the bundle — goes strictly forward in that order.
+#
+# A forged certificate that survives 1-3 still cannot survive 4: a
+# cyclic design admits no order in which all its edges point forward.
+#
+# Usage: certify-check.sh <design.json> <certificate.json>
+set -euo pipefail
+
+DESIGN="${1:?usage: certify-check.sh <design.json> <certificate.json>}"
+CERT="${2:?usage: certify-check.sh <design.json> <certificate.json>}"
+
+fail() { echo "certify-check: FAIL: $*" >&2; exit 1; }
+
+command -v jq >/dev/null || fail "jq is required"
+
+echo "== certify-check: $CERT against $DESIGN"
+
+# 1. The certificate must be bound to these exact design bytes.
+want=$(jq -er '.design_sha256' "$CERT") || fail "certificate has no design_sha256"
+got=$(sha256sum "$DESIGN" | awk '{print $1}')
+[ "$want" = "$got" ] || fail "design digest mismatch: certificate $want, file $got"
+
+# 2. Checker identity: a certificate from a different checker build must
+# be re-issued, not re-validated.
+jq -e '.salt == "nocdr-certify/1" and .checker_version == 1' "$CERT" >/dev/null \
+    || fail "unexpected checker identity: $(jq -c '{salt, checker_version}' "$CERT")"
+
+# 3 + 4. The witness itself, re-derived from raw JSON.
+jq -e -n --slurpfile c "$CERT" --slurpfile d "$DESIGN" '
+    def key: "\(.link):\(.vc)";
+    $c[0] as $cert | $d[0] as $design |
+
+    ($cert.acyclic == true) as $acyclic |
+    ($cert.topo_order // []) as $ord |
+
+    # Position of every ordered channel; duplicates collapse here and are
+    # caught by the length comparison below.
+    (reduce range(0; $ord | length) as $i ({}; . + {($ord[$i] | key): $i})) as $pos |
+
+    # The live channel universe: every VC of every non-faulted link.
+    ($design.topology.faults // []) as $faults |
+    ([ $design.topology.links[]
+       | select([.id] | inside($faults) | not)
+       | .id as $l | .vcs as $n | range(0; $n) as $v | {link: $l, vc: $v}
+     ]) as $chans |
+
+    # Every dependency edge of every route, both bundle schemas.
+    ([ ($design.routes.flows // [])[].paths[],
+       ($design.routes.routes // [])[].channels
+     ]) as $paths |
+
+    $acyclic
+    and ($ord | length) == ($chans | length)
+    and ($pos | length) == ($ord | length)
+    and ($cert.channels == ($chans | length))
+    and ([ $chans[] | key ] | all(. as $k | $pos | has($k)))
+    and ([ $paths[]
+           | . as $p
+           | range(0; ($p | length) - 1)
+           | { a: ($p[.] | key), b: ($p[. + 1] | key) }
+         ] | all($pos[.a] < $pos[.b]))
+' >/dev/null || fail "witness validation failed: the topological order does not certify this design"
+
+echo "certify-check: OK ($(jq -r '.channels' "$CERT") channels, $(jq -r '.dependencies' "$CERT") dependencies)"

@@ -312,6 +312,7 @@ func (s *Session) Sweep(ctx context.Context, grid SweepGrid, opts SweepOptions) 
 		FullRebuild: s.fullRebuild,
 		Simulate:    opts.Simulate,
 		Sim:         opts.Sim,
+		Certify:     opts.Certify,
 		ShardIndex:  opts.ShardIndex,
 		ShardCount:  opts.ShardCount,
 		CellCache:   s.resultCache,

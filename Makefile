@@ -11,7 +11,7 @@ FUZZ_PKGS ?= ./...
 # Minimum total statement coverage accepted by the cover gate.
 COVER_MIN ?= 75
 
-.PHONY: build test race bench bench-pin fmt vet lint vulncheck cover fuzz-smoke sweep-smoke sweep-smoke-sharded deep-sweep deep-loadsweep reconfigure-smoke deep-reconfigure certify-smoke deep-certify examples fabric-conformance compose-smoke ci
+.PHONY: build test race bench bench-pin fmt vet lint vulncheck cover fuzz-smoke sweep-smoke sweep-smoke-sharded deep-sweep deep-loadsweep reconfigure-smoke deep-reconfigure certify-smoke deep-certify examples fabric-conformance compose-smoke k8s-validate ci
 
 build:
 	$(GO) build ./...
@@ -216,10 +216,25 @@ serve-smoke:
 # End-to-end conformance of the job fabric: coordinator + two joined
 # workers behind a bearer token, the same sweep twice through
 # -coordinator with an on-disk cache (run 2 must be >= 90% hits and
-# byte-identical), plus auth and registry assertions. CI runs this as
-# its own job.
+# byte-identical), plus auth and registry assertions, and a final mTLS
+# leg (gencert-minted PKI, joined worker, sweep over https). CI runs
+# this as its own job.
 fabric-conformance:
 	./scripts/fabric-conformance.sh
+
+# Schema-validate the Kubernetes manifests in deploy/k8s. CI installs
+# kubeconform and fails on findings; local runs without it still render
+# the kustomization (catching YAML/kustomize errors), and skip entirely
+# when kubectl is absent too.
+k8s-validate:
+	@if ! command -v kubectl >/dev/null 2>&1; then \
+		echo "kubectl not installed; skipping k8s manifest validation"; \
+	elif command -v kubeconform >/dev/null 2>&1; then \
+		kubectl kustomize deploy/k8s | kubeconform -strict -summary; \
+	else \
+		kubectl kustomize deploy/k8s > /dev/null; \
+		echo "k8s manifests render cleanly (kubeconform not installed; schema check skipped)"; \
+	fi
 
 # Container smoke of the fleet topology docker-compose.yml describes:
 # build the image, bring up coordinator + two workers, assert the
@@ -236,4 +251,4 @@ compose-smoke:
 	docker compose down -v
 	@echo "compose-smoke: OK"
 
-ci: build vet fmt lint vulncheck race cover examples sweep-smoke sweep-smoke-sharded reconfigure-smoke certify-smoke fabric-conformance
+ci: build vet fmt lint vulncheck race cover examples sweep-smoke sweep-smoke-sharded reconfigure-smoke certify-smoke fabric-conformance k8s-validate

@@ -18,8 +18,12 @@ import (
 
 // runServe implements `nocdr serve`: the HTTP/JSON job service over the
 // removal/sweep/simulation pipeline (see internal/serve for the API).
-// With -join it registers itself as a worker of a coordinator fleet and
-// heartbeats until shutdown. SIGINT/SIGTERM shut it down gracefully:
+// With -join it registers itself as a worker of a coordinator fleet,
+// heartbeats until shutdown, and links its result cache to the
+// coordinator's: local misses pull from it, fresh results push back.
+// With -tls-cert/-tls-key the listener speaks TLS (-tls-ca additionally
+// demands client certificates, and pins the coordinator's certificate on
+// outbound fleet calls). SIGINT/SIGTERM shut it down gracefully:
 // in-flight jobs get their contexts canceled, the pool drains, then the
 // listener closes.
 func runServe(args []string) error {
@@ -28,40 +32,78 @@ func runServe(args []string) error {
 	workers := fs.Int("workers", 0, "job pool size (0 = max(8, NumCPU))")
 	sweepParallel := fs.Int("sweep-parallel", 0, "per-sweep runner worker count (0 = NumCPU)")
 	join := fs.String("join", "", "coordinator base URL to join as a worker: register on startup, then heartbeat")
-	advertise := fs.String("advertise", "", "base URL this instance advertises to the coordinator (default http://<addr>)")
+	advertise := fs.String("advertise", "", "base URL this instance advertises to the coordinator (default http(s)://<addr>)")
 	token := fs.String("token", os.Getenv(fabric.TokenEnv),
 		"shared fleet bearer token: required on every mutating endpoint and presented when joining (env "+fabric.TokenEnv+")")
 	cacheDir := fs.String("cache-dir", "", "directory for the on-disk result-cache tier (empty = in-memory only)")
 	cacheEntries := fs.Int("cache-entries", 0, "in-memory result-cache entry bound (0 = default)")
+	tlsCert := fs.String("tls-cert", "", "PEM certificate for the listener (with -tls-key; empty = plain HTTP)")
+	tlsKey := fs.String("tls-key", "", "PEM private key for -tls-cert")
+	tlsCA := fs.String("tls-ca", "", "PEM CA bundle: require client certificates signed by it (mTLS) and pin outbound fleet calls to it")
 	fs.Parse(args)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	useTLS := *tlsCert != "" || *tlsKey != ""
+	var fleetClient *http.Client
+	if useTLS || *tlsCA != "" {
+		ccfg, err := fabric.ClientTLS(*tlsCA, *tlsCert, *tlsKey)
+		if err != nil {
+			return fmt.Errorf("nocdr serve: %w", err)
+		}
+		// Membership and cache-propagation calls are small; fail fast.
+		fleetClient = fabric.HTTPClient(ccfg, 10*time.Second)
+	}
+
 	role := "coordinator"
+	cacheOpts := fabric.CacheOptions{MaxEntries: *cacheEntries, Dir: *cacheDir}
 	if *join != "" {
 		role = "worker"
+		// Link the worker's cache to the coordinator's: misses pull
+		// through, fresh results push back for the next dispatch.
+		cacheOpts.Upstream = &fabric.Upstream{URL: *join, Token: *token, Client: fleetClient}
 	}
+	cache := fabric.NewCache(cacheOpts)
+	defer cache.Close()
+
 	srv := serve.New(serve.Options{
 		Workers:       *workers,
 		SweepParallel: *sweepParallel,
-		Cache:         fabric.NewCache(fabric.CacheOptions{MaxEntries: *cacheEntries, Dir: *cacheDir}),
+		Cache:         cache,
 		AuthToken:     *token,
 		Role:          role,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	scheme := "http"
+	if useTLS {
+		scfg, err := fabric.ServerTLS(*tlsCert, *tlsKey, *tlsCA)
+		if err != nil {
+			srv.Close()
+			return fmt.Errorf("nocdr serve: %w", err)
+		}
+		httpSrv.TLSConfig = scfg
+		scheme = "https"
+	}
 
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "nocdr serve: listening on %s (%s)\n", *addr, role)
+	go func() {
+		if useTLS {
+			errc <- httpSrv.ListenAndServeTLS("", "") // certs live in TLSConfig
+			return
+		}
+		errc <- httpSrv.ListenAndServe()
+	}()
+	fmt.Fprintf(os.Stderr, "nocdr serve: listening on %s (%s, %s)\n", *addr, role, scheme)
 
 	if *join != "" {
 		self := *advertise
 		if self == "" {
-			self = advertiseURL(*addr)
+			self = advertiseURL(*addr, scheme)
 		}
 		err := fabric.Join(ctx, *join, self, fabric.JoinOptions{
-			Token: *token,
+			Token:  *token,
+			Client: fleetClient,
 			OnState: func(msg string) {
 				fmt.Fprintf(os.Stderr, "nocdr serve: fleet %s\n", msg)
 			},
@@ -97,13 +139,13 @@ func runServe(args []string) error {
 // advertiseURL derives the URL a joining worker advertises from its
 // listen address: wildcard hosts become loopback, since a coordinator
 // cannot dial 0.0.0.0 back. Cross-machine fleets pass -advertise.
-func advertiseURL(addr string) string {
+func advertiseURL(addr, scheme string) string {
 	host, port, err := net.SplitHostPort(addr)
 	if err != nil {
-		return "http://" + addr
+		return scheme + "://" + addr
 	}
 	if host == "" || host == "0.0.0.0" || host == "::" {
 		host = "127.0.0.1"
 	}
-	return "http://" + net.JoinHostPort(host, port)
+	return scheme + "://" + net.JoinHostPort(host, port)
 }

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"strconv"
@@ -52,6 +53,10 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		"base URL of a `nocdr serve` coordinator: shard the grid across its live worker registry, tracking joins and departures mid-sweep")
 	token := fs.String("token", os.Getenv(fabric.TokenEnv),
 		"fleet bearer token presented to the coordinator and its workers (env "+fabric.TokenEnv+")")
+	tlsCA := fs.String("tls-ca", "",
+		"PEM CA bundle pinning the fleet's TLS certificates (required for https coordinators with self-signed fleet certs)")
+	tlsCert := fs.String("tls-cert", "", "PEM client certificate presented to mTLS fleets (with -tls-key)")
+	tlsKey := fs.String("tls-key", "", "PEM private key for -tls-cert")
 	cacheDir := fs.String("cache-dir", "",
 		"content-addressed result-cache directory: cells whose semantic inputs hash to a stored entry are answered from it, and fresh results are stored for the next run")
 	noCache := fs.Bool("no-cache", false,
@@ -159,15 +164,27 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		cache = fabric.NewCache(fabric.CacheOptions{Dir: *cacheDir})
 		opts.CellCache = cache
 	}
+	// One TLS client serves the coordinator and every worker it names:
+	// fleet members share a CA, so a single pinned transport covers both.
+	var fleetClient *http.Client
+	if *tlsCA != "" || *tlsCert != "" {
+		tcfg, terr := fabric.ClientTLS(*tlsCA, *tlsCert, *tlsKey)
+		if terr != nil {
+			return terr
+		}
+		// No overall timeout: the dispatcher holds SSE streams open for
+		// the life of a shard.
+		fleetClient = fabric.HTTPClient(tcfg, 0)
+	}
 	var rep *runner.Report
 	switch {
 	case *coordinator != "":
-		src, werr := fabric.WatchWorkers(ctx, *coordinator, *token, 0)
+		src, werr := fabric.WatchWorkers(ctx, *coordinator, *token, 0, fleetClient)
 		if werr != nil {
 			return werr
 		}
 		defer src.Close()
-		rep, err = (&runner.Sharded{Source: src, AuthToken: *token}).RunContext(ctx, grid, opts)
+		rep, err = (&runner.Sharded{Source: src, AuthToken: *token, Client: fleetClient}).RunContext(ctx, grid, opts)
 	case *workers != "" || *shardLocal > 0:
 		urls := splitCSV(*workers)
 		if *shardLocal > 0 {
@@ -181,7 +198,7 @@ func runSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 			}
 			defer shutdown()
 		}
-		rep, err = (&runner.Sharded{Workers: urls, AuthToken: *token}).RunContext(ctx, grid, opts)
+		rep, err = (&runner.Sharded{Workers: urls, AuthToken: *token, Client: fleetClient}).RunContext(ctx, grid, opts)
 	default:
 		rep, err = runner.RunContext(ctx, grid, opts)
 	}

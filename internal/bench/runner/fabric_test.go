@@ -358,7 +358,7 @@ func TestShardedHeartbeatRetirementRequeues(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	src, err := fabric.WatchWorkers(context.Background(), cts.URL, "", 10*time.Millisecond)
+	src, err := fabric.WatchWorkers(context.Background(), cts.URL, "", 10*time.Millisecond, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

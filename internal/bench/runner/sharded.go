@@ -1,19 +1,23 @@
 // The sharded sweep dispatcher: the coordinator side of the distributed
 // backend. It cuts the grid into DefaultShardCount shards (ShardOf),
 // hands shards to remote `nocdr serve` workers over the /v1/sweep job
-// API, polls each job to completion, requeues shards whose worker dies
+// API, follows each job's SSE event stream to its terminal state (status
+// polling is the degrade path), requeues shards whose worker dies
 // mid-flight, drains partial results on cancellation, and merges the
 // shard reports into a report byte-identical to a single-process run.
 
 package runner
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -60,10 +64,17 @@ type Sharded struct {
 	// and requeue, so it may exceed the worker count freely.
 	Shards int
 	// Client is the HTTP client; nil uses a plain &http.Client{} (no
-	// global timeout — sweep jobs are long-lived; cancellation flows
-	// through the run context instead).
+	// global timeout — sweep jobs are long-lived and their SSE streams
+	// stay open for the life of a shard; cancellation flows through the
+	// run context instead). TLS fleets pass a client built from
+	// fabric.HTTPClient(fabric.ClientTLS(...), 0).
 	Client *http.Client
-	// PollInterval is the job-status polling period (default 25ms).
+	// DisableStream skips the SSE subscription and drives every shard by
+	// status polling alone — the degrade path, forced (tests, proxies
+	// that buffer event streams).
+	DisableStream bool
+	// PollInterval is the job-status polling period on the degrade path
+	// (default 25ms).
 	PollInterval time.Duration
 	// Retries is the attempt budget per shard across all workers
 	// (default 3): a shard failing that many times fails the run with an
@@ -203,35 +214,42 @@ func (d *Sharded) RunContext(ctx context.Context, grid Grid, opts Options) (*Rep
 	// dispatched (its results enter the merge as one extra pseudo-shard
 	// report — MergeShards accepts any partition). Shards with even one
 	// cold cell dispatch whole, because a worker answers with all its
-	// cells and the merge rejects duplicates. Probing stops at a shard's
-	// first miss so the cache's hit/miss counters track usable lookups.
+	// cells and the merge rejects duplicates — but their warm cells are
+	// collected and seeded into the assigned worker's cache ahead of the
+	// submit, so a dispatched partially-warm shard recomputes only its
+	// cold cells. Every cell is probed (not stop-at-first-miss): the
+	// misses are the price of knowing which entries to ship.
 	var (
 		pending      []int
 		cacheRep     *Report
 		cachedShards = make([]bool, shards)
+		warm         map[int][]fabric.CacheEntry
 	)
 	for s := 0; s < shards; s++ {
 		if len(shardJobs[s]) == 0 {
 			continue
 		}
 		hits := make([]Result, 0, len(shardJobs[s]))
+		var entries []fabric.CacheEntry
 		if opts.CellCache != nil && !opts.NoCache {
 			for _, i := range shardJobs[s] {
-				data, ok := opts.CellCache.Get(CellKey(jobs[i], opts, grid.Loads))
+				key := CellKey(jobs[i], opts, grid.Loads)
+				data, ok := opts.CellCache.Get(key)
 				if !ok {
-					break
+					continue
 				}
 				var r Result
 				if err := json.Unmarshal(data, &r); err != nil || r.Job != jobs[i] {
-					break
+					continue
 				}
 				// Same poisoned-salt guard as the local pre-pass: a stored
 				// certificate from a different checker build voids the hit
-				// (and, at shard granularity, the whole shard re-runs).
+				// (and, at shard granularity, that cell re-runs remotely).
 				if opts.Certify && (r.Certify == nil || r.Certify.Salt != certify.Salt) {
-					break
+					continue
 				}
 				hits = append(hits, r)
+				entries = append(entries, fabric.CacheEntry{Key: key, Value: data})
 			}
 		}
 		if len(hits) == len(shardJobs[s]) && len(hits) > 0 {
@@ -242,6 +260,12 @@ func (d *Sharded) RunContext(ctx context.Context, grid Grid, opts Options) (*Rep
 			cacheRep.Results = append(cacheRep.Results, hits...)
 		} else {
 			pending = append(pending, s)
+			if len(entries) > 0 {
+				if warm == nil {
+					warm = make(map[int][]fabric.CacheEntry)
+				}
+				warm[s] = entries
+			}
 		}
 	}
 	if len(pending) > 0 && len(d.Workers) == 0 && d.Source != nil && len(d.Source.WorkerURLs()) == 0 && d.JoinGrace == 0 {
@@ -286,7 +310,7 @@ func (d *Sharded) RunContext(ctx context.Context, grid Grid, opts Options) (*Rep
 		go func() {
 			defer wg.Done()
 			for shard := range w.feed {
-				rep, dead, err := d.runShard(cctx, w.url, grid, shard, shards, opts)
+				rep, dead, err := d.runShard(cctx, w.url, grid, shard, shards, warm[shard], opts)
 				done <- outcome{shard: shard, worker: wi, rep: rep, err: err, dead: dead}
 			}
 		}()
@@ -369,7 +393,13 @@ func (d *Sharded) RunContext(ctx context.Context, grid Grid, opts Options) (*Rep
 			// failing — a fresh worker registering with the coordinator
 			// picks the unowned shards up.
 			select {
-			case <-updates:
+			case _, ok := <-updates:
+				if !ok {
+					// The source terminated (watcher closed): no join can
+					// ever arrive, so fail like a source-less empty fleet.
+					updates = nil
+					continue
+				}
 				for _, u := range d.Source.WorkerURLs() {
 					spawn(u)
 				}
@@ -418,7 +448,13 @@ func (d *Sharded) RunContext(ctx context.Context, grid Grid, opts Options) (*Rep
 					pending = append(pending, o.shard)
 				}
 			}
-		case <-updates:
+		case _, ok := <-updates:
+			if !ok {
+				// Closed source: keep running with the workers already
+				// admitted, but stop selecting on the dead channel.
+				updates = nil
+				continue
+			}
 			// Mid-run membership change: admit workers never seen before;
 			// the assignment loop hands them pending shards immediately.
 			for _, u := range d.Source.WorkerURLs() {
@@ -465,13 +501,83 @@ func (d *Sharded) RunContext(ctx context.Context, grid Grid, opts Options) (*Rep
 	return rep, nil
 }
 
-// runShard submits one shard to a worker and polls its job to a terminal
-// state. A failed or malformed submission gets one immediate
-// resubmission, and a failed status poll one immediate re-poll, before
-// the worker is declared dead (dead=true retires the worker; the
-// coordinator requeues the shard elsewhere). On cancellation the
-// worker-side job is canceled and its partial report drained.
-func (d *Sharded) runShard(ctx context.Context, worker string, grid Grid, shard, shards int, opts Options) (rep *Report, dead bool, err error) {
+// maxBackpressure bounds how many 429 rounds one shard submission rides
+// out before the attempt is surrendered to the retry budget.
+const maxBackpressure = 20
+
+// streamIdleTimeout closes an SSE subscription that has gone silent: the
+// server pings every ssePingInterval, so a stream this quiet means the
+// peer is gone without having closed the connection. The dispatcher then
+// degrades to status polling, whose per-request failures detect death.
+const streamIdleTimeout = 60 * time.Second
+
+// waiter is a reusable timer for the dispatcher's wait loops: one
+// runtime timer serves every iteration, where time.After would allocate
+// a fresh timer per 25ms tick and leak each until expiry.
+type waiter struct{ t *time.Timer }
+
+// sleep blocks for dur or until ctx is done (returning ctx's error).
+func (w *waiter) sleep(ctx context.Context, dur time.Duration) error {
+	if w.t == nil {
+		w.t = time.NewTimer(dur)
+	} else {
+		w.t.Reset(dur)
+	}
+	select {
+	case <-w.t.C:
+		return nil
+	case <-ctx.Done():
+		if !w.t.Stop() {
+			// The timer fired while we were leaving the select; drain the
+			// channel so the next Reset starts clean.
+			select {
+			case <-w.t.C:
+			default:
+			}
+		}
+		return ctx.Err()
+	}
+}
+
+func (w *waiter) stop() {
+	if w.t != nil {
+		w.t.Stop()
+	}
+}
+
+// backpressureError is a worker's 429 submit answer: the job table is
+// full but the worker is healthy; after carries its Retry-After
+// guidance.
+type backpressureError struct{ after time.Duration }
+
+func (e *backpressureError) Error() string {
+	return fmt.Sprintf("job table full (retry after %v)", e.after)
+}
+
+// parseRetryAfter reads a Retry-After header as whole seconds, clamped
+// to [1s, 30s]; anything unparseable gets the old fixed 1s.
+func parseRetryAfter(h string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || secs < 1 {
+		return time.Second
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// runShard submits one shard to a worker and follows its job to a
+// terminal state: first over the job's SSE event stream (zero status
+// polls on the happy path), falling back to polling when the stream is
+// unavailable or drops. A 429 submit answer is backpressure, not
+// failure — the worker's Retry-After is honored and the submit retried
+// without retiring anyone. A failed or malformed submission gets one
+// immediate resubmission, and a failed status poll one immediate
+// re-poll, before the worker is declared dead (dead=true retires the
+// worker; the coordinator requeues the shard elsewhere). On cancellation
+// the worker-side job is canceled and its partial report drained.
+func (d *Sharded) runShard(ctx context.Context, worker string, grid Grid, shard, shards int, seed []fabric.CacheEntry, opts Options) (rep *Report, dead bool, err error) {
 	req := shardRequest{
 		Grid:     grid,
 		Simulate: opts.Simulate,
@@ -488,21 +594,38 @@ func (d *Sharded) runShard(ctx context.Context, worker string, grid Grid, shard,
 		return nil, false, err
 	}
 
-	id, err := d.submit(ctx, worker, shard, shards, body)
+	wait := &waiter{}
+	defer wait.stop()
+
+	// Warm hand-off: ship the coordinator's cached cells for this shard
+	// before submitting, so the worker's own cache pre-pass answers them
+	// without computing. Best-effort — a worker without a cache (409) or
+	// a failed POST just computes those cells cold.
+	if len(seed) > 0 {
+		_ = fabric.SeedEntries(ctx, worker, d.AuthToken, d.client(), seed)
+	}
+
+	id, err := d.submitBackoff(ctx, worker, shard, shards, body, wait)
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, false, fmt.Errorf("%w: %w", nocerr.ErrCanceled, ctx.Err())
 		}
-		// One immediate retry absorbs a transient hiccup; a second
-		// failure retires the worker.
-		if id, err = d.submit(ctx, worker, shard, shards, body); err != nil {
-			return nil, true, fmt.Errorf("worker %s: submit shard %d/%d: %w", worker, shard, shards, err)
-		}
+		return nil, true, fmt.Errorf("worker %s: submit shard %d/%d: %w", worker, shard, shards, err)
 	}
 
+	var st *wireStatus
+	if !d.DisableStream {
+		st = d.streamTerminal(ctx, worker, id)
+	}
+	if st == nil && ctx.Err() != nil {
+		return d.drain(worker, id)
+	}
+	// Degrade path: the stream was unavailable (older worker, buffering
+	// proxy) or dropped mid-job. The job is unaffected server-side, so
+	// fall back to status polling.
 	pollFailures := 0
-	for {
-		st, err := d.jobStatus(ctx, worker, id)
+	for st == nil {
+		cur, err := d.jobStatus(ctx, worker, id)
 		if err != nil {
 			if ctx.Err() != nil {
 				return d.drain(worker, id)
@@ -512,39 +635,133 @@ func (d *Sharded) runShard(ctx context.Context, worker string, grid Grid, shard,
 			if pollFailures++; pollFailures > 1 {
 				return nil, true, fmt.Errorf("worker %s: poll shard %d/%d: %w", worker, shard, shards, err)
 			}
-			select {
-			case <-time.After(d.pollInterval()):
-			case <-ctx.Done():
+			if wait.sleep(ctx, d.pollInterval()) != nil {
 				return d.drain(worker, id)
 			}
 			continue
 		}
 		pollFailures = 0
-		switch st.State {
-		case "done":
-			rep, err := decodeShardReport(st.Result)
-			if err != nil {
-				return nil, true, fmt.Errorf("worker %s: shard %d/%d result: %w", worker, shard, shards, err)
+		switch cur.State {
+		case "done", "failed", "canceled":
+			st = cur
+		default:
+			if wait.sleep(ctx, d.pollInterval()) != nil {
+				return d.drain(worker, id)
 			}
-			return rep, false, nil
-		case "failed":
-			return nil, false, fmt.Errorf("worker %s: shard %d/%d failed: %s", worker, shard, shards, st.Error)
-		case "canceled":
-			// Canceled server-side (shutdown, operator): whatever partial
-			// result exists still merges; missing cells surface as
-			// canceled slots.
-			rep, _ := decodeShardReport(st.Result)
-			if rep != nil {
-				rep.Canceled = true
-			}
-			return rep, false, nil
-		}
-		select {
-		case <-time.After(d.pollInterval()):
-		case <-ctx.Done():
-			return d.drain(worker, id)
 		}
 	}
+	switch st.State {
+	case "done":
+		rep, err := decodeShardReport(st.Result)
+		if err != nil {
+			return nil, true, fmt.Errorf("worker %s: shard %d/%d result: %w", worker, shard, shards, err)
+		}
+		return rep, false, nil
+	case "failed":
+		return nil, false, fmt.Errorf("worker %s: shard %d/%d failed: %s", worker, shard, shards, st.Error)
+	default: // canceled
+		// Canceled server-side (shutdown, operator): whatever partial
+		// result exists still merges; missing cells surface as
+		// canceled slots.
+		rep, _ := decodeShardReport(st.Result)
+		if rep != nil {
+			rep.Canceled = true
+		}
+		return rep, false, nil
+	}
+}
+
+// submitBackoff submits the shard, absorbing backpressure and transient
+// hiccups: a 429 answer waits out the worker's Retry-After and resubmits
+// (the worker is healthy, just full — up to maxBackpressure rounds),
+// while any other failure gets one immediate retry before giving up.
+func (d *Sharded) submitBackoff(ctx context.Context, worker string, shard, shards int, body []byte, wait *waiter) (string, error) {
+	retried := false
+	backpressured := 0
+	for {
+		id, err := d.submit(ctx, worker, shard, shards, body)
+		var full *backpressureError
+		switch {
+		case err == nil:
+			return id, nil
+		case ctx.Err() != nil:
+			return "", err
+		case errors.As(err, &full):
+			if backpressured++; backpressured > maxBackpressure {
+				return "", err
+			}
+			if werr := wait.sleep(ctx, full.after); werr != nil {
+				return "", err
+			}
+		case !retried:
+			retried = true
+		default:
+			return "", err
+		}
+	}
+}
+
+// streamTerminal subscribes to the job's SSE event feed and blocks until
+// the terminal `state` event arrives, returning its status document. A
+// nil return means the stream was unavailable or dropped — the caller
+// degrades to status polling; the job is unaffected server-side. An idle
+// watchdog closes streams silent past streamIdleTimeout (the server
+// pings idle streams, so that much silence means a dead peer).
+func (d *Sharded) streamTerminal(ctx context.Context, worker, id string) *wireStatus {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(worker, "/")+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	fabric.SetAuth(req, d.AuthToken)
+	resp, err := d.client().Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK ||
+		!strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		return nil
+	}
+	dog := time.AfterFunc(streamIdleTimeout, func() { resp.Body.Close() })
+	defer dog.Stop()
+
+	var event string
+	var data bytes.Buffer
+	sc := bufio.NewScanner(resp.Body)
+	// Terminal state events embed the full shard report; size the line
+	// budget like the job API's own body budget.
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	for sc.Scan() {
+		dog.Reset(streamIdleTimeout)
+		line := sc.Text()
+		switch {
+		case line == "":
+			// Blank line dispatches the accumulated event.
+			if event == "state" && data.Len() > 0 {
+				var st wireStatus
+				if json.Unmarshal(data.Bytes(), &st) == nil {
+					switch st.State {
+					case "done", "failed", "canceled":
+						return &st
+					}
+				}
+			}
+			event = ""
+			data.Reset()
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			if data.Len() > 0 {
+				data.WriteByte('\n')
+			}
+			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		}
+		// id: lines and ": ping" comments need no handling.
+	}
+	return nil
 }
 
 // drain is the cancellation path of runShard: cancel the worker-side job
@@ -564,6 +781,8 @@ func (d *Sharded) drain(worker, id string) (*Report, bool, error) {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}
+	wait := &waiter{}
+	defer wait.stop()
 	for {
 		st, err := d.jobStatus(ctx, worker, id)
 		if err != nil {
@@ -577,9 +796,7 @@ func (d *Sharded) drain(worker, id string) (*Report, bool, error) {
 			}
 			return rep, false, nil
 		}
-		select {
-		case <-time.After(d.pollInterval()):
-		case <-ctx.Done():
+		if wait.sleep(ctx, d.pollInterval()) != nil {
 			return nil, false, nil
 		}
 	}
@@ -602,6 +819,9 @@ func (d *Sharded) submit(ctx context.Context, worker string, shard, shards int, 
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
 		return "", err
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return "", &backpressureError{after: parseRetryAfter(resp.Header.Get("Retry-After"))}
 	}
 	if resp.StatusCode != http.StatusAccepted {
 		return "", fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))

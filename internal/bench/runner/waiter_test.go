@@ -1,0 +1,61 @@
+package runner
+
+// White-box tests for the dispatcher's reused wait timer — the fix for
+// the per-iteration time.After allocation in the poll and drain loops.
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestWaiterReusesTimer pins the allocation contract: after the first
+// sleep creates the timer, further sleeps reuse it instead of allocating
+// one per iteration the way time.After did.
+func TestWaiterReusesTimer(t *testing.T) {
+	w := &waiter{}
+	defer w.stop()
+	ctx := context.Background()
+	if err := w.sleep(ctx, time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := w.sleep(ctx, 10*time.Microsecond); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("waiter.sleep allocates %.1f object(s) per iteration; the timer is not reused", allocs)
+	}
+}
+
+// TestWaiterCancelRace pins the drain-on-cancel path: a sleep cut short
+// by its context reports the context error, and the same waiter then
+// serves clean sleeps again — the fired-while-leaving race must not
+// leave a stale tick in the channel.
+func TestWaiterCancelRace(t *testing.T) {
+	w := &waiter{}
+	defer w.stop()
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := w.sleep(canceled, time.Hour); err == nil {
+		t.Fatal("sleep on a canceled context returned nil")
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.sleep(context.Background(), time.Microsecond); err != nil {
+			t.Fatalf("sleep %d after a canceled one: %v", i, err)
+		}
+	}
+
+	// Race the expiry against the cancellation repeatedly: whichever side
+	// wins, the next sleep must complete normally.
+	for i := 0; i < 50; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go cancel()
+		_ = w.sleep(ctx, time.Microsecond)
+		if err := w.sleep(context.Background(), time.Microsecond); err != nil {
+			t.Fatalf("sleep after racing cancel %d: %v", i, err)
+		}
+	}
+}

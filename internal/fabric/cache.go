@@ -2,9 +2,11 @@ package fabric
 
 import (
 	"container/list"
+	"context"
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 // CacheOptions configures a Cache.
@@ -18,6 +20,13 @@ type CacheOptions struct {
 	// salt in every key already retires stale files, and operators can
 	// clear the directory wholesale.
 	Dir string
+	// Upstream, when non-nil, links this cache to a peer's: lookups that
+	// miss both local tiers fall through to the peer (counted in
+	// UpstreamHits and stored locally), and Put feeds a background push
+	// loop that ships fresh entries back via /v1/cache/seed. Seed stores
+	// bypass the push loop so seeded entries never echo back to their
+	// origin. Call Close to flush and stop the push loop.
+	Upstream *Upstream
 }
 
 func (o CacheOptions) withDefaults() CacheOptions {
@@ -39,8 +48,13 @@ type Stats struct {
 	Collapsed uint64 `json:"collapsed"`
 	// DiskHits counts lookups that missed memory but hit the disk tier.
 	DiskHits uint64 `json:"disk_hits"`
-	// Puts counts stores.
+	// UpstreamHits counts lookups that missed both local tiers but were
+	// answered by the upstream peer (also counted in Hits).
+	UpstreamHits uint64 `json:"upstream_hits"`
+	// Puts counts stores (Put and Seed alike).
 	Puts uint64 `json:"puts"`
+	// Pushed counts entries shipped to the upstream peer by the push loop.
+	Pushed uint64 `json:"pushed"`
 	// Entries is the current in-memory entry count.
 	Entries int `json:"entries"`
 	// Bytes is the resident size of the in-memory tier's values.
@@ -81,7 +95,15 @@ type Cache struct {
 	misses  uint64
 	clps    uint64
 	dskHits uint64
+	upHits  uint64
 	puts    uint64
+	pushed  uint64
+
+	// Upstream push loop: Put enqueues, pusher ships batches, Close
+	// drains. closed guards the channel against send-after-close.
+	pushCh chan CacheEntry
+	pushWG sync.WaitGroup
+	closed bool
 }
 
 // entry is one resident value.
@@ -92,11 +114,47 @@ type entry struct {
 
 // NewCache builds a Cache.
 func NewCache(opts CacheOptions) *Cache {
-	return &Cache{
+	c := &Cache{
 		opts:    opts.withDefaults(),
 		ll:      list.New(),
 		items:   make(map[string]*list.Element),
 		flights: make(map[string]*flight),
+	}
+	if c.opts.Upstream != nil && c.opts.Upstream.URL != "" {
+		c.pushCh = make(chan CacheEntry, 256)
+		c.pushWG.Add(1)
+		go c.pusher()
+	}
+	return c
+}
+
+// pusher ships queued entries upstream in batches. Failures drop the
+// batch: the upstream can always pull what it missed.
+func (c *Cache) pusher() {
+	defer c.pushWG.Done()
+	up := c.opts.Upstream
+	for e := range c.pushCh {
+		batch := []CacheEntry{e}
+	fill:
+		for len(batch) < SeedBatch {
+			select {
+			case next, ok := <-c.pushCh:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, next)
+			default:
+				break fill
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := SeedEntries(ctx, up.URL, up.Token, up.Client, batch)
+		cancel()
+		if err == nil {
+			c.mu.Lock()
+			c.pushed += uint64(len(batch))
+			c.mu.Unlock()
+		}
 	}
 }
 
@@ -134,6 +192,22 @@ func (c *Cache) get(key string, countMiss bool) ([]byte, bool) {
 			return val, true
 		}
 	}
+	if up := c.opts.Upstream; up != nil && up.URL != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		val, err := up.fetch(ctx, key)
+		cancel()
+		if err == nil && len(val) > 0 {
+			c.mu.Lock()
+			c.hits++
+			c.upHits++
+			c.storeLocked(key, val)
+			c.mu.Unlock()
+			if dir != "" {
+				c.writeDisk(key, val)
+			}
+			return val, true
+		}
+	}
 	if countMiss {
 		c.mu.Lock()
 		c.misses++
@@ -142,20 +216,55 @@ func (c *Cache) get(key string, countMiss bool) ([]byte, bool) {
 	return nil, false
 }
 
-// Put stores val under key in both tiers. The value is retained as
-// given — callers must not mutate it afterwards.
+// Put stores val under key in both tiers and, when an upstream peer is
+// linked, enqueues it for the background push loop (dropped without
+// blocking when the queue is full — the peer can always pull). The value
+// is retained as given — callers must not mutate it afterwards.
 func (c *Cache) Put(key string, val []byte) {
+	c.store(key, val, true)
+}
+
+// Seed stores val like Put but never enqueues an upstream push: it is
+// the receiving side of propagation, and echoing a seeded entry back to
+// the peer that shipped it would be pure churn.
+func (c *Cache) Seed(key string, val []byte) {
+	c.store(key, val, false)
+}
+
+func (c *Cache) store(key string, val []byte, push bool) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	c.puts++
 	c.storeLocked(key, val)
+	if push && c.pushCh != nil && !c.closed {
+		select {
+		case c.pushCh <- CacheEntry{Key: key, Value: val}:
+		default:
+		}
+	}
 	dir := c.opts.Dir
 	c.mu.Unlock()
 	if dir != "" {
 		c.writeDisk(key, val)
 	}
+}
+
+// Close flushes and stops the upstream push loop. Idempotent, and safe
+// on a nil receiver or a cache with no upstream.
+func (c *Cache) Close() {
+	if c == nil || c.pushCh == nil {
+		return
+	}
+	c.mu.Lock()
+	already := c.closed
+	c.closed = true
+	c.mu.Unlock()
+	if !already {
+		close(c.pushCh)
+	}
+	c.pushWG.Wait()
 }
 
 // storeLocked inserts or refreshes the memory entry and evicts past the
@@ -234,14 +343,16 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:       c.hits,
-		Misses:     c.misses,
-		Collapsed:  c.clps,
-		DiskHits:   c.dskHits,
-		Puts:       c.puts,
-		Entries:    c.ll.Len(),
-		Bytes:      c.bytes,
-		MaxEntries: c.opts.MaxEntries,
+		Hits:         c.hits,
+		Misses:       c.misses,
+		Collapsed:    c.clps,
+		DiskHits:     c.dskHits,
+		UpstreamHits: c.upHits,
+		Puts:         c.puts,
+		Pushed:       c.pushed,
+		Entries:      c.ll.Len(),
+		Bytes:        c.bytes,
+		MaxEntries:   c.opts.MaxEntries,
 	}
 }
 

@@ -304,6 +304,60 @@ func TestRegistryReregisterKeepsIdentity(t *testing.T) {
 	}
 }
 
+// TestRegistryHeartbeatAtTTLBoundary pins the boundary semantics of the
+// lazy prune: retirement requires silence *strictly greater* than
+// interval×budget, so a heartbeat landing exactly at the TTL is still
+// accepted — the worker used its whole budget and survived.
+func TestRegistryHeartbeatAtTTLBoundary(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	r := NewRegistry(RegistryOptions{HeartbeatInterval: time.Second, MissedBudget: 3, Now: clk.now})
+	w := r.Register("http://a:1")
+
+	clk.advance(r.TTL()) // exactly interval×budget of silence
+	if !r.Heartbeat(w.ID) {
+		t.Fatal("heartbeat landing exactly at the TTL boundary was rejected")
+	}
+	if r.Retired() != 0 {
+		t.Fatalf("retired %d at the boundary", r.Retired())
+	}
+	// The smallest step past the boundary retires the worker.
+	clk.advance(r.TTL() + time.Nanosecond)
+	if r.Heartbeat(w.ID) {
+		t.Fatal("heartbeat strictly past the TTL boundary was accepted")
+	}
+	if r.Retired() != 1 {
+		t.Fatalf("retired %d past the boundary", r.Retired())
+	}
+}
+
+// TestRegistryReregisterRacesPrune pins re-registration against the lazy
+// prune, which runs inside Register itself: exactly at the TTL the
+// worker is still live and keeps its identity; strictly past it the
+// prune wins first and the same URL joins fresh under a new ID.
+func TestRegistryReregisterRacesPrune(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	r := NewRegistry(RegistryOptions{HeartbeatInterval: time.Second, MissedBudget: 3, Now: clk.now})
+	a := r.Register("http://a:1")
+
+	clk.advance(r.TTL())
+	b := r.Register("http://a:1")
+	if b.ID != a.ID {
+		t.Fatalf("re-registration at the boundary lost identity: %s -> %s", a.ID, b.ID)
+	}
+
+	clk.advance(r.TTL() + time.Nanosecond)
+	c := r.Register("http://a:1")
+	if c.ID == a.ID {
+		t.Fatal("re-registration past the TTL reused the retired ID")
+	}
+	if r.Retired() != 1 {
+		t.Fatalf("retired %d", r.Retired())
+	}
+	if r.Count() != 1 {
+		t.Fatalf("count %d", r.Count())
+	}
+}
+
 func TestRegistryDefaults(t *testing.T) {
 	r := NewRegistry(RegistryOptions{})
 	if r.TTL() != DefaultHeartbeatInterval*DefaultMissedBudget {

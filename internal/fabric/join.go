@@ -203,20 +203,27 @@ type Watcher struct {
 }
 
 // WatchWorkers starts polling the coordinator every interval (0 =
-// DefaultHeartbeatInterval/2). The initial fetch is synchronous so the
-// caller starts with a real snapshot — an unreachable coordinator fails
-// here rather than in the middle of a dispatch. Stop with Close.
-func WatchWorkers(ctx context.Context, coordinator, token string, interval time.Duration) (*Watcher, error) {
+// DefaultHeartbeatInterval/2), using client for the fetches (nil = 10s
+// default; TLS fleets pass a client built from ClientTLS). The initial
+// fetch is synchronous so the caller starts with a real snapshot — an
+// unreachable coordinator fails here rather than in the middle of a
+// dispatch. Stop with Close, after which Updates is closed, so a
+// consumer ranging over it terminates.
+func WatchWorkers(ctx context.Context, coordinator, token string, interval time.Duration, client *http.Client) (*Watcher, error) {
 	if interval <= 0 {
 		interval = DefaultHeartbeatInterval / 2
 	}
-	urls, err := FetchWorkers(ctx, coordinator, token, nil)
+	urls, err := FetchWorkers(ctx, coordinator, token, client)
 	if err != nil {
 		return nil, fmt.Errorf("fabric: coordinator %s: %w", coordinator, err)
 	}
 	wctx, cancel := context.WithCancel(ctx)
 	w := &Watcher{urls: urls, updates: make(chan struct{}, 1), cancel: cancel}
 	go func() {
+		// Closing updates on exit is part of the Watcher contract: it is
+		// the only way a consumer draining Updates learns the source is
+		// gone rather than merely quiet.
+		defer close(w.updates)
 		t := time.NewTicker(interval)
 		defer t.Stop()
 		for {
@@ -225,7 +232,7 @@ func WatchWorkers(ctx context.Context, coordinator, token string, interval time.
 				return
 			case <-t.C:
 			}
-			urls, err := FetchWorkers(wctx, coordinator, token, nil)
+			urls, err := FetchWorkers(wctx, coordinator, token, client)
 			if err != nil {
 				continue
 			}
@@ -252,10 +259,13 @@ func (w *Watcher) WorkerURLs() []string {
 }
 
 // Updates signals membership changes; the channel carries no payload,
-// call WorkerURLs for the new set.
+// call WorkerURLs for the new set. It is closed when the watcher stops
+// (Close, or the parent context ending), so consumers ranging over it
+// terminate instead of blocking forever.
 func (w *Watcher) Updates() <-chan struct{} { return w.updates }
 
-// Close stops the poll loop.
+// Close stops the poll loop; the Updates channel closes once the loop
+// has exited.
 func (w *Watcher) Close() { w.cancel() }
 
 func equalStrings(a, b []string) bool {

@@ -1,0 +1,120 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// CacheEntry is one key/value pair on the cache propagation wire: the
+// body of POST /v1/cache/seed is {"entries":[CacheEntry...]}, and the
+// value is the canonical Result encoding the content address commits to,
+// so a seeded entry is byte-identical to a locally computed one.
+type CacheEntry struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// seedRequest is the POST /v1/cache/seed body.
+type seedRequest struct {
+	Entries []CacheEntry `json:"entries"`
+}
+
+// SeedBatch bounds how many entries ride in one /v1/cache/seed POST so a
+// large warm shard never builds a body near the server's byte limit.
+const SeedBatch = 128
+
+// Upstream links a cache to a peer's (typically a worker's cache to the
+// coordinator's): local misses fall through to GET {URL}/v1/cache/{key},
+// and fresh Puts are pushed back asynchronously, batched and
+// best-effort, via POST {URL}/v1/cache/seed. Both directions are
+// optimizations — an unreachable upstream degrades to local-only
+// caching, never to an error.
+type Upstream struct {
+	// URL is the peer's base URL (the coordinator address a worker joined).
+	URL string
+	// Token is the fleet bearer token presented on seed pushes.
+	Token string
+	// Client is the HTTP client (nil = 10s-timeout default). Fleets
+	// running TLS pass a client built from ClientTLS here.
+	Client *http.Client
+}
+
+func (u *Upstream) client() *http.Client {
+	if u.Client != nil {
+		return u.Client
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+// fetch pulls one entry from the upstream cache; any non-200 answer is
+// reported as an error so the caller counts a plain miss.
+func (u *Upstream) fetch(ctx context.Context, key string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(u.URL, "/")+"/v1/cache/"+url.PathEscape(key), nil)
+	if err != nil {
+		return nil, err
+	}
+	SetAuth(req, u.Token)
+	resp, err := u.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cache fetch: status %d", resp.StatusCode)
+	}
+	return data, nil
+}
+
+// SeedEntries ships warm cache entries to base's /v1/cache/seed endpoint
+// in SeedBatch-sized POSTs. Used by the sharded dispatcher to warm a
+// worker before handing it a shard, and by a worker cache's push loop to
+// feed fresh results back to the coordinator. The first failed batch
+// aborts the rest: seeding is an optimization and the receiver computes
+// anything it did not get.
+func SeedEntries(ctx context.Context, base, token string, client *http.Client, entries []CacheEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	for start := 0; start < len(entries); start += SeedBatch {
+		end := start + SeedBatch
+		if end > len(entries) {
+			end = len(entries)
+		}
+		body, err := json.Marshal(seedRequest{Entries: entries[start:end]})
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			strings.TrimSuffix(base, "/")+"/v1/cache/seed", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		SetAuth(req, token)
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("cache seed: status %d", resp.StatusCode)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// upstreamStub is a minimal cache peer: GET /v1/cache/{key} serves a
+// map, POST /v1/cache/seed records and applies batches.
+type upstreamStub struct {
+	mu     sync.Mutex
+	store  map[string][]byte
+	posts  []int // entry count per seed POST
+	auth   string
+	server *httptest.Server
+}
+
+func newUpstreamStub() *upstreamStub {
+	u := &upstreamStub{store: make(map[string][]byte)}
+	u.server = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/cache/"):
+			key := strings.TrimPrefix(r.URL.Path, "/v1/cache/")
+			u.mu.Lock()
+			v, ok := u.store[key]
+			u.mu.Unlock()
+			if !ok {
+				http.NotFound(w, r)
+				return
+			}
+			w.Write(v)
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/cache/seed":
+			var req struct {
+				Entries []CacheEntry `json:"entries"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			u.mu.Lock()
+			u.auth = r.Header.Get("Authorization")
+			u.posts = append(u.posts, len(req.Entries))
+			for _, e := range req.Entries {
+				u.store[e.Key] = e.Value
+			}
+			u.mu.Unlock()
+			fmt.Fprint(w, `{"stored":true}`)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	return u
+}
+
+func (u *upstreamStub) has(key string) bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	_, ok := u.store[key]
+	return ok
+}
+
+// TestCacheUpstreamPull pins the pull fallback: a lookup missing both
+// local tiers is answered by the upstream peer, counted as an upstream
+// hit, and stored locally so the next read never leaves the process.
+func TestCacheUpstreamPull(t *testing.T) {
+	up := newUpstreamStub()
+	defer up.server.Close()
+	up.store["warm"] = []byte(`{"v":1}`)
+
+	c := NewCache(CacheOptions{Upstream: &Upstream{URL: up.server.URL}})
+	defer c.Close()
+
+	v, ok := c.Get("warm")
+	if !ok || string(v) != `{"v":1}` {
+		t.Fatalf("upstream pull: %q %v", v, ok)
+	}
+	if st := c.Stats(); st.UpstreamHits != 1 || st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("pull stats %+v", st)
+	}
+	if _, ok := c.Get("warm"); !ok {
+		t.Fatal("pulled entry not stored locally")
+	}
+	if st := c.Stats(); st.UpstreamHits != 1 || st.Hits != 2 {
+		t.Fatalf("second read went upstream again: %+v", st)
+	}
+	// A key the upstream does not hold is a plain miss.
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("absent key hit")
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Fatalf("miss stats %+v", st)
+	}
+}
+
+// TestCachePutPushesUpstream pins the push-back half of propagation: Put
+// reaches the upstream peer (asynchronously, with the bearer token),
+// Seed never does, and Close flushes the queue.
+func TestCachePutPushesUpstream(t *testing.T) {
+	up := newUpstreamStub()
+	defer up.server.Close()
+
+	c := NewCache(CacheOptions{Upstream: &Upstream{URL: up.server.URL, Token: "tok"}})
+	c.Seed("seeded", []byte(`"s"`))
+	c.Put("fresh", []byte(`"f"`))
+	c.Close() // flushes the push queue
+
+	if !up.has("fresh") {
+		t.Fatal("Put never reached the upstream")
+	}
+	if up.has("seeded") {
+		t.Fatal("Seed echoed back to the upstream")
+	}
+	up.mu.Lock()
+	auth := up.auth
+	up.mu.Unlock()
+	if auth != "Bearer tok" {
+		t.Fatalf("seed push auth %q", auth)
+	}
+	if st := c.Stats(); st.Pushed != 1 {
+		t.Fatalf("pushed %d, want 1", st.Pushed)
+	}
+	// Put after Close must not panic or block; it just stays local.
+	c.Put("late", []byte(`"l"`))
+	if up.has("late") {
+		t.Fatal("post-Close Put reached the upstream")
+	}
+	c.Close() // idempotent
+}
+
+// TestCacheUpstreamUnreachable pins the degrade path: a dead upstream
+// makes lookups plain misses and Puts local-only, never errors or hangs.
+func TestCacheUpstreamUnreachable(t *testing.T) {
+	up := newUpstreamStub()
+	up.server.Close() // dead before first use
+
+	c := NewCache(CacheOptions{Upstream: &Upstream{URL: up.server.URL}})
+	defer c.Close()
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("dead upstream produced a hit")
+	}
+	c.Put("k", []byte("v"))
+	if v, ok := c.Get("k"); !ok || string(v) != "v" {
+		t.Fatal("local tier must still serve with a dead upstream")
+	}
+}
+
+// TestSeedEntriesBatches pins the wire batching: a payload larger than
+// SeedBatch is split so no single POST approaches the server body limit.
+func TestSeedEntriesBatches(t *testing.T) {
+	up := newUpstreamStub()
+	defer up.server.Close()
+
+	entries := make([]CacheEntry, SeedBatch*2+5)
+	for i := range entries {
+		entries[i] = CacheEntry{Key: fmt.Sprintf("k%d", i), Value: json.RawMessage(`1`)}
+	}
+	if err := SeedEntries(context.Background(), up.server.URL, "", nil, entries); err != nil {
+		t.Fatal(err)
+	}
+	up.mu.Lock()
+	defer up.mu.Unlock()
+	if len(up.posts) != 3 {
+		t.Fatalf("posts %v, want 3 batches", up.posts)
+	}
+	total := 0
+	for _, n := range up.posts {
+		if n > SeedBatch {
+			t.Fatalf("batch of %d exceeds SeedBatch %d", n, SeedBatch)
+		}
+		total += n
+	}
+	if total != len(entries) {
+		t.Fatalf("delivered %d of %d entries", total, len(entries))
+	}
+}
+
+// TestWatcherCloseUnblocksConsumer pins the Close contract: a consumer
+// ranging over Updates() terminates once the watcher is closed instead
+// of blocking forever on a channel nobody will ever send on again.
+func TestWatcherCloseUnblocksConsumer(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"workers":[{"id":"w-1","url":"http://a:1"}],"count":1}`)
+	}))
+	defer ts.Close()
+
+	w, err := WatchWorkers(context.Background(), ts.URL, "", 5*time.Millisecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		for range w.Updates() {
+		}
+		close(done)
+	}()
+	w.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("consumer ranging over Updates() still blocked after Close")
+	}
+	// The last snapshot remains readable after close.
+	if urls := w.WorkerURLs(); len(urls) != 1 || urls[0] != "http://a:1" {
+		t.Fatalf("post-close snapshot %v", urls)
+	}
+}

@@ -1,0 +1,81 @@
+package fabric
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+)
+
+// ServerTLS builds the listener-side TLS configuration for a fleet
+// member: certFile/keyFile are the PEM pair it serves, and caFile, when
+// non-empty, additionally requires and verifies client certificates
+// signed by that CA (mTLS).
+func ServerTLS(certFile, keyFile, caFile string) (*tls.Config, error) {
+	cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: load server cert: %w", err)
+	}
+	cfg := &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		MinVersion:   tls.VersionTLS12,
+	}
+	if caFile != "" {
+		pool, err := loadCertPool(caFile)
+		if err != nil {
+			return nil, err
+		}
+		cfg.ClientCAs = pool
+		cfg.ClientAuth = tls.RequireAndVerifyClientCert
+	}
+	return cfg, nil
+}
+
+// ClientTLS builds the dialer-side TLS configuration for fleet calls:
+// caFile pins the peers' server certificates (empty = system roots), and
+// certFile/keyFile, when both non-empty, present a client certificate
+// for mTLS fleets.
+func ClientTLS(caFile, certFile, keyFile string) (*tls.Config, error) {
+	cfg := &tls.Config{MinVersion: tls.VersionTLS12}
+	if caFile != "" {
+		pool, err := loadCertPool(caFile)
+		if err != nil {
+			return nil, err
+		}
+		cfg.RootCAs = pool
+	}
+	if certFile != "" && keyFile != "" {
+		cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: load client cert: %w", err)
+		}
+		cfg.Certificates = []tls.Certificate{cert}
+	}
+	return cfg, nil
+}
+
+// HTTPClient wraps a TLS configuration in an HTTP client. A nil config
+// yields a plain client. timeout 0 means no overall timeout — the right
+// choice for job traffic, whose SSE streams stay open for the life of a
+// shard; membership calls pass a short one.
+func HTTPClient(cfg *tls.Config, timeout time.Duration) *http.Client {
+	c := &http.Client{Timeout: timeout}
+	if cfg != nil {
+		c.Transport = &http.Transport{TLSClientConfig: cfg}
+	}
+	return c
+}
+
+func loadCertPool(caFile string) (*x509.CertPool, error) {
+	pem, err := os.ReadFile(caFile)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: read CA bundle: %w", err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(pem) {
+		return nil, fmt.Errorf("fabric: no certificates in CA bundle %s", caFile)
+	}
+	return pool, nil
+}

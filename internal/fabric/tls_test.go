@@ -1,0 +1,134 @@
+package fabric
+
+import (
+	"crypto/tls"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeTLSFile drops PEM bytes into dir and returns the path.
+func writeTLSFile(t *testing.T, dir, name string, data []byte) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// fleetPKI generates the file layout scripts/gencert produces: one CA,
+// one leaf usable for both listener and client auth.
+func fleetPKI(t *testing.T) (caFile, certFile, keyFile string) {
+	t.Helper()
+	ca, err := NewCertAuthority("nocdr-test-ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, key, err := ca.Issue("nocdr-test", []string{"127.0.0.1", "localhost"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	return writeTLSFile(t, dir, "ca.pem", ca.CertPEM),
+		writeTLSFile(t, dir, "server.pem", cert),
+		writeTLSFile(t, dir, "server-key.pem", key)
+}
+
+// TestTLSHandshake pins the server/client pair end to end: a client
+// pinning the generated CA reaches the listener, one without it fails
+// certificate verification.
+func TestTLSHandshake(t *testing.T) {
+	caFile, certFile, keyFile := fleetPKI(t)
+	scfg, err := ServerTLS(certFile, keyFile, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	}))
+	ts.TLS = scfg
+	ts.StartTLS()
+	defer ts.Close()
+
+	ccfg, err := ClientTLS(caFile, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := HTTPClient(ccfg, 5*time.Second).Get(ts.URL)
+	if err != nil {
+		t.Fatalf("pinned client failed: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("body %q", body)
+	}
+
+	// A client without the CA must refuse the self-signed chain.
+	bare := HTTPClient(&tls.Config{MinVersion: tls.VersionTLS12}, 5*time.Second)
+	if _, err := bare.Get(ts.URL); err == nil {
+		t.Fatal("unpinned client accepted the fleet certificate")
+	}
+}
+
+// TestTLSMutual pins the mTLS mode: with a CA on the server side,
+// clients presenting a CA-signed certificate are admitted and bare TLS
+// clients are rejected during the handshake.
+func TestTLSMutual(t *testing.T) {
+	caFile, certFile, keyFile := fleetPKI(t)
+	scfg, err := ServerTLS(certFile, keyFile, caFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scfg.ClientAuth != tls.RequireAndVerifyClientCert {
+		t.Fatalf("client auth mode %v", scfg.ClientAuth)
+	}
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "ok")
+	}))
+	ts.TLS = scfg
+	ts.StartTLS()
+	defer ts.Close()
+
+	with, err := ClientTLS(caFile, certFile, keyFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := HTTPClient(with, 5*time.Second).Get(ts.URL)
+	if err != nil {
+		t.Fatalf("mTLS client rejected: %v", err)
+	}
+	resp.Body.Close()
+
+	without, err := ClientTLS(caFile, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := HTTPClient(without, 5*time.Second).Get(ts.URL); err == nil {
+		t.Fatal("client without a certificate admitted by an mTLS listener")
+	}
+}
+
+// TestTLSBadInputs pins the error paths: missing files and junk bundles
+// fail loudly at config build time, not at first dial.
+func TestTLSBadInputs(t *testing.T) {
+	if _, err := ServerTLS("missing.pem", "missing-key.pem", ""); err == nil {
+		t.Fatal("missing server pair accepted")
+	}
+	if _, err := ClientTLS("missing-ca.pem", "", ""); err == nil {
+		t.Fatal("missing CA accepted")
+	}
+	junk := writeTLSFile(t, t.TempDir(), "junk.pem", []byte("not a certificate"))
+	if _, err := ClientTLS(junk, "", ""); err == nil {
+		t.Fatal("junk CA bundle accepted")
+	}
+	if cfg := HTTPClient(nil, time.Second); cfg.Transport != nil {
+		t.Fatal("nil TLS config grew a transport")
+	}
+}

@@ -308,6 +308,7 @@ func TestFabricAuthGuardsMutatingRoutes(t *testing.T) {
 		"/v1/jobs/j-999/cancel",
 		"/v1/workers/register",
 		"/v1/workers/w-1/heartbeat",
+		"/v1/cache/seed",
 	}
 	for _, path := range mutating {
 		for _, auth := range []string{"", "Bearer wrong", "Basic abc"} {
@@ -324,7 +325,7 @@ func TestFabricAuthGuardsMutatingRoutes(t *testing.T) {
 		}
 	}
 
-	for _, path := range []string{"/healthz", "/v1/jobs", "/v1/workers", "/v1/cache"} {
+	for _, path := range []string{"/healthz", "/v1/jobs", "/v1/workers", "/v1/cache", "/v1/cache/some-key"} {
 		resp, err := http.Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)

@@ -39,6 +39,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/workers/{id}/heartbeat", guard(s.handleWorkerHeartbeat))
 	mux.HandleFunc("GET /v1/workers", s.handleWorkers)
 	mux.HandleFunc("GET /v1/cache", s.handleCache)
+	mux.Handle("POST /v1/cache/seed", guard(s.handleCacheSeed))
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheEntry)
 	return mux
 }
 
@@ -102,6 +104,53 @@ func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
 		"stats":    st,
 		"hit_rate": st.HitRate(),
 	})
+}
+
+// handleCacheSeed accepts a batch of warm cache entries from a peer —
+// the coordinator shipping its hits ahead of a shard dispatch, or a
+// worker pushing fresh results home. Entries land via Cache.Seed, which
+// stores without echoing back upstream, so propagation never loops. An
+// instance running without a cache answers 409: the peer should stop
+// shipping rather than retry.
+func (s *Server) handleCacheSeed(w http.ResponseWriter, r *http.Request) {
+	if s.opts.Cache == nil {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("%w: this instance runs without a result cache", nocerr.ErrInvalidInput))
+		return
+	}
+	var req struct {
+		Entries []fabric.CacheEntry `json:"entries"`
+	}
+	if !s.decode(w, r, &req) {
+		return
+	}
+	stored := 0
+	for _, e := range req.Entries {
+		if e.Key == "" || len(e.Value) == 0 {
+			continue
+		}
+		s.opts.Cache.Seed(e.Key, e.Value)
+		stored++
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"stored": stored})
+}
+
+// handleCacheEntry serves one raw cache value by key — the pull half of
+// propagation, used by workers whose local tiers miss.
+func (s *Server) handleCacheEntry(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if s.opts.Cache == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: this instance runs without a result cache", nocerr.ErrNotFound))
+		return
+	}
+	v, ok := s.opts.Cache.Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: cache entry %q", nocerr.ErrNotFound, key))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(v)
 }
 
 // removeRequest is the POST /v1/remove body: the design to repair plus
@@ -498,7 +547,7 @@ func (s *Server) handleReconfigure(w http.ResponseWriter, r *http.Request) {
 func (s *Server) enqueue(w http.ResponseWriter, kind string, run func(ctx context.Context, j *Job) (any, error)) {
 	j, err := s.submit(kind, run)
 	if err != nil {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	}
@@ -599,9 +648,17 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.snapshot())
 }
 
+// ssePingInterval is how often an idle event stream emits a comment
+// frame. Pings keep intermediaries from timing the connection out and
+// let streaming clients (runner.Sharded) run an idle watchdog that is
+// strictly longer, so a healthy-but-quiet job never trips it. A var so
+// tests can shorten the quiet period.
+var ssePingInterval = 15 * time.Second
+
 // handleJobEvents streams the job's event feed as Server-Sent Events:
 // the full buffer is replayed first, then live events as they are
 // emitted, then one terminal "state" event, and the stream closes.
+// Quiet stretches carry ": ping" comments every ssePingInterval.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	j, err := s.job(r.PathValue("id"))
 	if err != nil {
@@ -616,6 +673,9 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
+
+	ping := time.NewTicker(ssePingInterval)
+	defer ping.Stop()
 
 	next := 0
 	for {
@@ -640,6 +700,9 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-wake:
+		case <-ping.C:
+			fmt.Fprint(w, ": ping\n\n")
+			flusher.Flush()
 		case <-r.Context().Done():
 			return
 		}

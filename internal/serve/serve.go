@@ -21,12 +21,14 @@
 //	POST /v1/workers/{id}/heartbeat  fleet liveness (404 once retired)
 //	GET  /v1/workers           live worker registry
 //	GET  /v1/cache             result-cache counters
+//	POST /v1/cache/seed        accept warm cache entries: {"entries": [...]}
+//	GET  /v1/cache/{key}       one raw cache value (404 on miss)
 //	GET  /healthz              liveness: status, role, uptime, worker count
 //
 // With Options.AuthToken set, every mutating endpoint (the POSTs above)
 // requires `Authorization: Bearer <token>`; reads stay open. A full job
-// backlog answers 429 with Retry-After rather than failing the request
-// permanently.
+// backlog answers 429 with a Retry-After derived from queue pressure
+// rather than failing the request permanently.
 //
 // Concurrency model: submissions enqueue a job and return immediately
 // with its ID; a fixed pool of workers (Options.Workers) executes jobs,
@@ -395,6 +397,18 @@ func (s *Server) evictLocked() {
 		kept = append(kept, id)
 	}
 	s.order = kept
+}
+
+// retryAfterSeconds turns job-table pressure into the 429 Retry-After
+// hint: roughly how many seconds until the pool has chewed through the
+// current backlog, assuming each worker clears about two queued jobs a
+// second. A near-empty queue says "come back in a second"; a deep one
+// scales up, capped at 30s so a client never parks itself for minutes
+// on a queue that drains in seconds.
+func (s *Server) retryAfterSeconds() int {
+	per := 2 * s.opts.Workers
+	secs := (len(s.queue) + per - 1) / per
+	return min(max(secs, 1), 30)
 }
 
 // job looks a job up by ID.

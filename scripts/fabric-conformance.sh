@@ -12,7 +12,7 @@ PORT="${PORT:-18090}"
 BASE="http://127.0.0.1:${PORT}"
 TOKEN="fabric-ci-$$"
 DIR="$(mktemp -d)"
-trap 'kill "${COORD_PID:-}" "${W1_PID:-}" "${W2_PID:-}" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+trap 'kill "${COORD_PID:-}" "${W1_PID:-}" "${W2_PID:-}" "${TLS_COORD_PID:-}" "${TLS_W_PID:-}" 2>/dev/null || true; rm -rf "$DIR"' EXIT
 
 echo "== building binaries"
 go build -o "$DIR/nocdr" ./cmd/nocdr
@@ -72,4 +72,33 @@ wait "$W2_PID" 2>/dev/null || true
     -benchmarks mesh:3x3:hotspot -seeds 0,1 -quiet -json "$DIR/run3.json" 2> /dev/null
 jq -e '.results | length == 2' "$DIR/run3.json" > /dev/null
 
-echo "fabric-conformance: OK ($HITS/$TOTAL hits on the warm run)"
+echo "== TLS leg: minting fleet PKI and rerunning the sweep over mTLS"
+go run ./scripts/gencert -dir "$DIR/certs" -hosts 127.0.0.1,localhost > /dev/null
+TLS_BASE="https://127.0.0.1:$((PORT+3))"
+TLS_ARGS=(-tls-cert "$DIR/certs/server.pem" -tls-key "$DIR/certs/server-key.pem" -tls-ca "$DIR/certs/ca.pem")
+CURL_TLS=(--cacert "$DIR/certs/ca.pem" --cert "$DIR/certs/client.pem" --key "$DIR/certs/client-key.pem")
+"$DIR/nocdr" serve -addr "127.0.0.1:$((PORT+3))" -token "$TOKEN" "${TLS_ARGS[@]}" &
+TLS_COORD_PID=$!
+for i in $(seq 1 50); do
+    curl -fsS "${CURL_TLS[@]}" "$TLS_BASE/healthz" > /dev/null 2>&1 && break
+    sleep 0.1
+done
+"$DIR/nocdr" serve -addr "127.0.0.1:$((PORT+4))" -join "$TLS_BASE" -token "$TOKEN" "${TLS_ARGS[@]}" &
+TLS_W_PID=$!
+for i in $(seq 1 50); do
+    [ "$(curl -fsS "${CURL_TLS[@]}" "$TLS_BASE/v1/workers" | jq .count)" = "1" ] && break
+    sleep 0.1
+done
+curl -fsS "${CURL_TLS[@]}" "$TLS_BASE/healthz" | jq -e '.status == "ok" and .workers == 1' > /dev/null
+
+echo "== asserting the listener rejects clients without the fleet PKI"
+curl -fsS "$TLS_BASE/healthz" > /dev/null 2>&1 && {
+    echo "TLS listener answered an unpinned client" >&2; exit 1; }
+
+echo "== TLS sweep through the coordinator"
+"$DIR/nocexp" sweep -coordinator "$TLS_BASE" -token "$TOKEN" \
+    -tls-ca "$DIR/certs/ca.pem" -tls-cert "$DIR/certs/client.pem" -tls-key "$DIR/certs/client-key.pem" \
+    -benchmarks mesh:4 -seeds 0,1 -quiet -json "$DIR/run-tls.json" 2> /dev/null
+jq -e '.results | length == 2' "$DIR/run-tls.json" > /dev/null
+
+echo "fabric-conformance: OK ($HITS/$TOTAL hits on the warm run, TLS leg passed)"

@@ -1,0 +1,80 @@
+// Command gencert generates the fleet's TLS material: one self-signed
+// CA plus a server and a client leaf, written as PEM files into -dir.
+// The leaves carry both server- and client-auth usages, so the same pair
+// serves a `nocdr serve -tls-cert/-tls-key` listener and an mTLS client.
+// Pure stdlib (via internal/fabric's certgen) — no openssl dependency,
+// so CI and the conformance scripts can mint throwaway PKI anywhere the
+// go toolchain runs.
+//
+// Usage:
+//
+//	go run ./scripts/gencert -dir certs -hosts 127.0.0.1,localhost
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/nocdr/nocdr/internal/fabric"
+)
+
+func main() {
+	dir := flag.String("dir", "certs", "output directory for the PEM files (created if missing)")
+	hosts := flag.String("hosts", "127.0.0.1,localhost", "comma-separated IPs/DNS names the server certificate must cover")
+	name := flag.String("name", "nocdr-fleet", "common-name prefix for the CA and leaves")
+	flag.Parse()
+
+	var hostList []string
+	for _, h := range strings.Split(*hosts, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			hostList = append(hostList, h)
+		}
+	}
+	if len(hostList) == 0 {
+		fatal(fmt.Errorf("gencert: -hosts must name at least one IP or DNS name"))
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	ca, err := fabric.NewCertAuthority(*name + "-ca")
+	if err != nil {
+		fatal(err)
+	}
+	serverCert, serverKey, err := ca.Issue(*name+"-server", hostList)
+	if err != nil {
+		fatal(err)
+	}
+	clientCert, clientKey, err := ca.Issue(*name+"-client", hostList)
+	if err != nil {
+		fatal(err)
+	}
+
+	files := []struct {
+		name string
+		data []byte
+		mode os.FileMode
+	}{
+		{"ca.pem", ca.CertPEM, 0o644},
+		{"ca-key.pem", ca.KeyPEM, 0o600},
+		{"server.pem", serverCert, 0o644},
+		{"server-key.pem", serverKey, 0o600},
+		{"client.pem", clientCert, 0o644},
+		{"client-key.pem", clientKey, 0o600},
+	}
+	for _, f := range files {
+		p := filepath.Join(*dir, f.name)
+		if err := os.WriteFile(p, f.data, f.mode); err != nil {
+			fatal(err)
+		}
+		fmt.Println(p)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
